@@ -1,0 +1,146 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printed as text tables) and times the toolflow's stages
+   with Bechamel.
+
+   Usage:
+     main.exe            run every experiment, then the timing suite
+     main.exe quick      same with fewer noise trajectories (CI-friendly)
+     main.exe <id>       one experiment: fig1 fig2 fig3 tab1 fig5 fig6 fig7
+                         fig8 fig9 fig10 fig11 fig12 scaling related
+     main.exe timings    only the Bechamel timing suite *)
+
+module E = Bench_kit.Experiments
+
+let experiments : (string * (?trajectories:int -> unit -> unit)) list =
+  [
+    ("fig1", fun ?trajectories () -> ignore trajectories; E.print_fig1 ());
+    ("fig2", fun ?trajectories () -> ignore trajectories; E.print_fig2 ());
+    ("fig3", fun ?trajectories () -> ignore trajectories; E.print_fig3 ());
+    ("tab1", fun ?trajectories () -> ignore trajectories; E.print_tab1 ());
+    ("fig5", fun ?trajectories () -> ignore trajectories; E.print_fig5 ());
+    ("fig6", fun ?trajectories () -> ignore trajectories; E.print_fig6 ());
+    ("fig7", fun ?trajectories () -> ignore trajectories; E.print_fig7 ());
+    ("fig8", fun ?trajectories () -> ignore trajectories; E.print_fig8 ());
+    ("fig9", fun ?trajectories () -> E.print_fig9 ?trajectories ());
+    ("fig10", fun ?trajectories () -> E.print_fig10 ?trajectories ());
+    ("fig11", fun ?trajectories () -> E.print_fig11 ?trajectories ());
+    ("fig12", fun ?trajectories () -> E.print_fig12 ?trajectories ());
+    ("scaling", fun ?trajectories () -> ignore trajectories; E.print_scaling ());
+    ("related", fun ?trajectories () -> ignore trajectories; E.print_related ());
+    ("ablation", fun ?trajectories () -> ignore trajectories;
+                 E.print_ablation_mapper (); E.print_ablation_peephole ());
+    ("iontrap", fun ?trajectories () -> E.print_iontrap ?trajectories ());
+    ("tannu", fun ?trajectories () -> E.print_tannu ?trajectories ());
+    ("coherence", fun ?trajectories () -> ignore trajectories; E.print_coherence ());
+    ("characterize", fun ?trajectories () -> ignore trajectories; E.print_characterize ());
+    ("routing", fun ?trajectories () -> E.print_ablation_routing ?trajectories ());
+    ("staleness", fun ?trajectories () -> E.print_staleness ?trajectories ());
+    ("esp", fun ?trajectories () -> E.print_esp_correlation ?trajectories ());
+    ("lookahead", fun ?trajectories () -> E.print_ablation_lookahead ?trajectories ());
+    ("heavyhex", fun ?trajectories () -> E.print_heavyhex ?trajectories ());
+    ("properties", fun ?trajectories () -> ignore trajectories;
+                   E.print_properties Device.Machines.ibmq14;
+                   E.print_properties Device.Machines.umdti);
+    ("summary", fun ?trajectories () -> E.print_summary ?trajectories ());
+    ("report", fun ?trajectories () ->
+       print_string (Bench_kit.Report.generate ?trajectories ()));
+    ("variability", fun ?trajectories () -> E.print_variability ?trajectories ());
+    ("parametric", fun ?trajectories () -> E.print_parametric ?trajectories ());
+    ("noisemodel", fun ?trajectories () -> E.print_noise_model ?trajectories ());
+    ("ghz", fun ?trajectories () -> E.print_ghz ?trajectories ());
+  ]
+
+(* ---------- Bechamel timing suite: one Test.make per experiment ---------- *)
+
+let timing_tests =
+  let open Bechamel in
+  let quick_traj = 20 in
+  let staged name f = Test.make ~name (Staged.stage f) in
+  [
+    staged "fig1:device-table" (fun () -> ignore (E.fig1_rows ()));
+    staged "fig2:gate-sets" (fun () -> ignore (E.fig2_rows ()));
+    staged "fig3:calibration-series" (fun () -> ignore (E.fig3_series ()));
+    staged "tab1:compiler-table" (fun () -> ignore (E.tab1_rows ()));
+    staged "fig5:bv4-ir" (fun () -> ignore (Bench_kit.Programs.bv 4));
+    staged "fig6:reliability-matrix" (fun () ->
+        ignore
+          (Triq.Reliability.of_calibration ~noise_aware:true
+             Device.Machines.example_8q.Device.Machine.topology
+             Device.Machines.example_8q_calibration));
+    staged "fig7:benchmark-table" (fun () -> ignore (E.fig7_rows ()));
+    staged "fig8:pulse-counts" (fun () -> ignore (E.fig8_data ()));
+    staged "fig9:1q-opt-success" (fun () ->
+        ignore (E.fig9_data ~trajectories:quick_traj ()));
+    staged "fig10:comm-opt" (fun () ->
+        ignore (E.fig10_counts ());
+        ignore (E.fig10_success ~trajectories:quick_traj ()));
+    staged "fig11:noise-adaptivity" (fun () ->
+        ignore (E.fig11_counts ());
+        ignore (E.fig11_sequences ~trajectories:quick_traj ()));
+    staged "fig12:cross-platform" (fun () ->
+        ignore (E.fig12_data ~trajectories:quick_traj ()));
+    staged "scaling:supremacy-72q" (fun () ->
+        ignore (E.scaling_data ~node_budget:5_000 ~depth:8 ()));
+    staged "related:zulehner" (fun () -> ignore (E.related_data ()));
+    staged "ablation:mapper-objective" (fun () ->
+        ignore (E.ablation_mapper_data ~node_budget:50_000 ()));
+    staged "ablation:peephole" (fun () -> ignore (E.ablation_peephole_data ()));
+    staged "ext:iontrap" (fun () -> ignore (E.iontrap_data ~trajectories:quick_traj ()));
+    staged "ext:tannu-six-days" (fun () ->
+        ignore (E.tannu_data ~trajectories:quick_traj ()));
+    staged "ext:coherence" (fun () -> ignore (E.coherence_data ()));
+    staged "ext:characterize" (fun () -> ignore (E.characterize_data ()));
+    staged "ablation:routing" (fun () ->
+        ignore (E.ablation_routing_data ~trajectories:quick_traj ()));
+    staged "ext:staleness" (fun () ->
+        ignore (E.staleness_data ~trajectories:quick_traj ~days:3 ()));
+    staged "ext:esp-correlation" (fun () ->
+        ignore (E.esp_correlation_data ~trajectories:quick_traj ()));
+    staged "ablation:lookahead-routing" (fun () ->
+        ignore (E.ablation_lookahead_data ~trajectories:quick_traj ()));
+  ]
+
+let run_timings () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "== Bechamel timing suite (per-experiment harness cost) ==";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, elt) ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name ns
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        (List.map (fun elt -> (Test.Elt.name elt, elt)) (Test.elements test)))
+    timing_tests
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "timings" ] -> run_timings ()
+  | _ :: [ "quick" ] ->
+    List.iter
+      (fun ((_, f) : string * (?trajectories:int -> unit -> unit)) ->
+        f ~trajectories:50 ())
+      experiments
+  | _ :: [ name ] -> (
+    match List.assoc_opt name experiments with
+    | Some (f : ?trajectories:int -> unit -> unit) -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; known: %s timings quick\n" name
+        (String.concat " " (List.map fst experiments));
+      exit 2)
+  | _ ->
+    List.iter
+      (fun ((_, f) : string * (?trajectories:int -> unit -> unit)) -> f ())
+      experiments;
+    run_timings ()

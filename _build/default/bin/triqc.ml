@@ -1,0 +1,518 @@
+(* triqc: the TriQ command-line compiler.
+
+   Subcommands:
+     compile   Scaffold source -> vendor executable (OpenQASM/Quil/TI asm)
+     simulate  compile, then run on the noisy device model
+     machines  list the supported machines
+     info      describe one machine (topology + calibration snapshot)
+     bench     list the built-in benchmark programs *)
+
+open Cmdliner
+
+(* A machine is named either by a built-in name or by a JSON description
+   file (the paper's device-characteristics-as-input design). *)
+let find_machine spec =
+  match Device.Machines.find spec with
+  | Some m -> Ok m
+  | None ->
+    let looks_like_file =
+      Filename.check_suffix spec ".json" || String.contains spec '/'
+      || Sys.file_exists spec
+    in
+    if looks_like_file then begin
+      try Ok (Device.Machine_io.of_file spec) with
+      | Device.Machine_io.Error msg ->
+        Error (Printf.sprintf "%s: invalid machine description: %s" spec msg)
+      | Sys_error msg -> Error msg
+    end
+    else
+      Error
+        (Printf.sprintf "unknown machine %S (known: %s; or pass a .json description)"
+           spec
+           (String.concat ", "
+              (List.map (fun m -> m.Device.Machine.name) Device.Machines.all)))
+
+let find_level name =
+  match Triq.Pipeline.level_of_string name with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "unknown optimization level %S (n, 1qopt, 1qoptc, 1qoptcn)" name)
+
+(* Programs come in as Scaffold source or (for re-optimizing existing
+   vendor output) as OpenQASM 2.0. *)
+let load_program path =
+  try
+    if Filename.check_suffix path ".qasm" then begin
+      let parsed = Qasm.Frontend.parse_file path in
+      Ok
+        {
+          Scaffold.Lower.circuit = parsed.Qasm.Frontend.circuit;
+          measured = parsed.Qasm.Frontend.measured;
+          qubit_names = parsed.Qasm.Frontend.qubit_names;
+        }
+    end
+    else Ok (Scaffold.Lower.compile_file path)
+  with
+  | Scaffold.Parser.Error (msg, line, col) ->
+    Error (Printf.sprintf "%s:%d:%d: parse error: %s" path line col msg)
+  | Scaffold.Lower.Error (msg, line) ->
+    Error (Printf.sprintf "%s:%d: error: %s" path line msg)
+  | Qasm.Frontend.Error (msg, line) ->
+    Error (Printf.sprintf "%s:%d: QASM error: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let machine_arg =
+  let doc =
+    "Target machine: a built-in name (IBMQ5, IBMQ14, IBMQ16, Agave, Aspen1, \
+     Aspen3, UMDTI) or the path of a JSON machine description (see 'triqc export')."
+  in
+  Arg.(required & opt (some string) None & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let level_arg =
+  let doc = "Optimization level: n, 1qopt, 1qoptc, 1qoptcn (Table 1)." in
+  Arg.(value & opt string "1qoptcn" & info [ "O"; "level" ] ~docv:"LEVEL" ~doc)
+
+let day_arg =
+  let doc = "Calibration day to compile against." in
+  Arg.(value & opt int 0 & info [ "day" ] ~docv:"DAY" ~doc)
+
+let file_arg =
+  let doc = "Scaffold source file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let print_stats (r : Triq.Pipeline.t) =
+  Printf.eprintf
+    "; %s on %s (day %d): 2Q=%d, pulses=%d, swaps=%d, ESP=%.4f, compile=%.3fs\n"
+    (Triq.Pipeline.level_name r.Triq.Pipeline.level)
+    r.Triq.Pipeline.machine.Device.Machine.name r.Triq.Pipeline.day
+    r.Triq.Pipeline.two_q_count r.Triq.Pipeline.pulse_count
+    r.Triq.Pipeline.swap_count r.Triq.Pipeline.esp r.Triq.Pipeline.compile_time_s
+
+let compile_common file machine_name level_name =
+  let ( let* ) = Result.bind in
+  let* machine = find_machine machine_name in
+  let* level = find_level level_name in
+  let* program = load_program file in
+  let* () =
+    if Device.Machine.fits machine program.Scaffold.Lower.circuit then Ok ()
+    else
+      Error
+        (Printf.sprintf "program needs %d qubits; %s has %d"
+           program.Scaffold.Lower.circuit.Ir.Circuit.n_qubits
+           machine.Device.Machine.name
+           (Device.Machine.n_qubits machine))
+  in
+  Ok (machine, level, program)
+
+let compile_cmd =
+  let run file machine_name level_name day =
+    match compile_common file machine_name level_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, level, program) ->
+      let compiled =
+        Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+      in
+      print_stats compiled;
+      print_string (Backend.Emit.executable (Triq.Pipeline.to_compiled compiled));
+      0
+  in
+  let doc = "Compile a Scaffold program to a vendor executable." in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ machine_arg $ level_arg $ day_arg)
+
+let simulate_cmd =
+  let trials_arg =
+    Arg.(value & opt int 8192 & info [ "trials" ] ~docv:"N" ~doc:"Shots per run.")
+  in
+  let trajectories_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "trajectories" ] ~docv:"N" ~doc:"Monte-Carlo noise trajectories.")
+  in
+  let run file machine_name level_name day trials trajectories =
+    match compile_common file machine_name level_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, level, program) ->
+      if program.Scaffold.Lower.measured = [] then begin
+        Printf.eprintf "triqc: program has no measure statements\n";
+        1
+      end
+      else begin
+        let compiled =
+          Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+        in
+        print_stats compiled;
+        let measured = program.Scaffold.Lower.measured in
+        let spec =
+          match
+            Sim.Runner.ideal_distribution
+              (Ir.Circuit.body program.Scaffold.Lower.circuit)
+              ~measured
+          with
+          | (bits, p) :: _ when p > 0.99 -> Ir.Spec.deterministic measured bits
+          | dist -> Ir.Spec.distribution measured dist
+        in
+        let outcome =
+          Sim.Runner.run ~trials ~trajectories (Triq.Pipeline.to_compiled compiled) spec
+        in
+        Printf.printf "success rate: %.4f (%s)\n" outcome.Sim.Runner.success_rate
+          (if outcome.Sim.Runner.dominant_correct then "correct answer dominates"
+           else "FAILED: wrong answer dominates");
+        Printf.printf "top outcomes:\n";
+        List.iteri
+          (fun i (bits, n) ->
+            if i < 8 then Printf.printf "  %s  %6d / %d\n" bits n outcome.Sim.Runner.trials)
+          outcome.Sim.Runner.counts;
+        0
+      end
+  in
+  let doc = "Compile and execute on the noisy device model." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ file_arg $ machine_arg $ level_arg $ day_arg $ trials_arg
+      $ trajectories_arg)
+
+let sweep_cmd =
+  let run file machine_name day =
+    let ( let* ) = Result.bind in
+    let result =
+      let* machine = find_machine machine_name in
+      let* program = load_program file in
+      Ok (machine, program)
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, program) ->
+      if not (Device.Machine.fits machine program.Scaffold.Lower.circuit) then begin
+        Printf.eprintf "triqc: program does not fit %s\n" machine.Device.Machine.name;
+        1
+      end
+      else begin
+        Printf.printf "%-14s %6s %8s %6s %8s %10s\n" "Level" "2Q" "pulses" "swaps"
+          "ESP" "success";
+        let spec =
+          match
+            Sim.Runner.ideal_distribution
+              (Ir.Circuit.body program.Scaffold.Lower.circuit)
+              ~measured:program.Scaffold.Lower.measured
+          with
+          | (bits, p) :: _ when p > 0.99 ->
+            Some (Ir.Spec.deterministic program.Scaffold.Lower.measured bits)
+          | _ -> None
+        in
+        List.iter
+          (fun level ->
+            let compiled =
+              Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+            in
+            let success =
+              match spec with
+              | None -> "n/a"
+              | Some spec ->
+                Printf.sprintf "%.3f"
+                  (Sim.Runner.run (Triq.Pipeline.to_compiled compiled) spec)
+                    .Sim.Runner.success_rate
+            in
+            Printf.printf "%-14s %6d %8d %6d %8.4f %10s\n"
+              (Triq.Pipeline.level_name level)
+              compiled.Triq.Pipeline.two_q_count compiled.Triq.Pipeline.pulse_count
+              compiled.Triq.Pipeline.swap_count compiled.Triq.Pipeline.esp success)
+          Triq.Pipeline.all_levels;
+        0
+      end
+  in
+  let doc = "Compare all four optimization levels on one program (Table 1 sweep)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ file_arg $ machine_arg $ day_arg)
+
+let draw_cmd =
+  let compiled_arg =
+    Arg.(value & flag & info [ "compiled" ] ~doc:"Draw the compiled hardware circuit instead of the program IR.")
+  in
+  let run file machine_name level_name day compiled_view =
+    match compile_common file machine_name level_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, level, program) ->
+      if compiled_view then begin
+        let compiled =
+          Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+        in
+        print_string (Ir.Draw.render compiled.Triq.Pipeline.hardware)
+      end
+      else begin
+        let labels =
+          List.map fst
+            (List.sort
+               (fun (_, a) (_, b) -> compare a b)
+               program.Scaffold.Lower.qubit_names)
+        in
+        print_string
+          (Ir.Draw.render ~wire_labels:labels program.Scaffold.Lower.circuit)
+      end;
+      0
+  in
+  let doc = "Draw a program (or its compiled form) as an ASCII circuit." in
+  Cmd.v
+    (Cmd.info "draw" ~doc)
+    Term.(const run $ file_arg $ machine_arg $ level_arg $ day_arg $ compiled_arg)
+
+let verify_cmd =
+  let run file machine_name day =
+    let ( let* ) = Result.bind in
+    let result =
+      let* machine = find_machine machine_name in
+      let* program = load_program file in
+      Ok (machine, program)
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, program) ->
+      if not (Device.Machine.fits machine program.Scaffold.Lower.circuit) then begin
+        Printf.eprintf "triqc: program does not fit %s\n" machine.Device.Machine.name;
+        1
+      end
+      else if program.Scaffold.Lower.measured = [] then begin
+        Printf.eprintf "triqc: program has no measure statements to verify against\n";
+        1
+      end
+      else begin
+        let failures = ref 0 in
+        List.iter
+          (fun level ->
+            let compiled =
+              Triq.Pipeline.to_compiled
+                (Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit
+                   ~level)
+            in
+            let result =
+              Sim.Verify.check ~program:program.Scaffold.Lower.circuit
+                ~measured:program.Scaffold.Lower.measured compiled
+            in
+            if result.Sim.Verify.equivalent then
+              Printf.printf "%-14s OK   (noiseless outputs identical)\n"
+                (Triq.Pipeline.level_name level)
+            else begin
+              incr failures;
+              Printf.printf "%-14s FAIL (total variation %.6f)\n"
+                (Triq.Pipeline.level_name level) result.Sim.Verify.total_variation
+            end)
+          Triq.Pipeline.all_levels;
+        if !failures = 0 then 0 else 1
+      end
+  in
+  let doc =
+    "Verify that compilation preserves the program's semantics: compile at every \
+     optimization level and compare noiseless outputs to the source program's."
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_arg $ machine_arg $ day_arg)
+
+let convert_cmd =
+  let run file =
+    match load_program file with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok program ->
+      print_string
+        (Backend.Qasm_emit.emit_program
+           ~name:(Printf.sprintf "converted from %s" (Filename.basename file))
+           program.Scaffold.Lower.circuit);
+      0
+  in
+  let doc = "Convert a program (Scaffold or QASM) to portable OpenQASM 2.0." in
+  Cmd.v
+    (Cmd.info "convert" ~doc)
+    Term.(const run $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"))
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun m -> Format.printf "%a@\n" Device.Machine.pp m)
+      Device.Machines.all;
+    0
+  in
+  let doc = "List the supported machines." in
+  Cmd.v (Cmd.info "machines" ~doc) Term.(const run $ const ())
+
+let info_cmd =
+  let machine_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc:"Machine name.")
+  in
+  let run machine_name day =
+    match find_machine machine_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok machine ->
+      Format.printf "%a@\n" Device.Machine.pp machine;
+      Format.printf "topology: %a@\n" Device.Topology.pp
+        machine.Device.Machine.topology;
+      let cal = Device.Machine.calibration machine ~day in
+      Format.printf "calibration (day %d):@\n" day;
+      Array.iteri
+        (fun q e ->
+          Format.printf "  q%d: 1Q err %.4f, RO err %.4f@\n" q e
+            (Device.Calibration.readout_err cal q))
+        cal.Device.Calibration.one_q;
+      List.iter
+        (fun ((a, b), e) -> Format.printf "  %d-%d: 2Q err %.4f@\n" a b e)
+        cal.Device.Calibration.two_q;
+      0
+  in
+  let doc = "Describe a machine: topology and calibration data." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ machine_pos $ day_arg)
+
+let pulse_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit OpenPulse-style JSON instead of the timing listing.")
+  in
+  let run file machine_name level_name day json =
+    match compile_common file machine_name level_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok (machine, level, program) ->
+      let compiled =
+        Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+      in
+      print_stats compiled;
+      let schedule = Pulse.Lower.of_compiled (Triq.Pipeline.to_compiled compiled) in
+      Printf.eprintf "; schedule: %d pulses, %d frame changes, %.1f us\n"
+        (Pulse.Schedule.play_count schedule)
+        (Pulse.Schedule.frame_change_count schedule)
+        (Pulse.Schedule.duration_ns schedule /. 1000.0);
+      print_string
+        (if json then Pulse.Emit.openpulse_json schedule else Pulse.Emit.text schedule);
+      0
+  in
+  let doc = "Lower a Scaffold program all the way to a pulse schedule." in
+  Cmd.v
+    (Cmd.info "pulse" ~doc)
+    Term.(const run $ file_arg $ machine_arg $ level_arg $ day_arg $ json_arg)
+
+let characterize_cmd =
+  let machine_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc:"Machine name or JSON description.")
+  in
+  let run machine_name day =
+    match find_machine machine_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok machine ->
+      let calibration = Device.Machine.calibration machine ~day in
+      let noise = Sim.Noise.create machine calibration in
+      Printf.printf "Characterizing %s (day %d) by randomized benchmarking:\n\n"
+        machine.Device.Machine.name day;
+      Printf.printf "%-8s %12s %12s %12s\n" "Qubit" "1Q injected" "1Q recovered"
+        "RO error";
+      for q = 0 to Device.Machine.n_qubits machine - 1 do
+        let injected = Sim.Noise.gate_error_prob noise (Ir.Gate.One (Ir.Gate.X, q)) in
+        let rb = Characterize.Benchmarking.one_qubit machine ~day ~qubit:q in
+        let ro = Characterize.Benchmarking.readout machine ~day ~qubit:q in
+        Printf.printf "%-8d %12.5f %12.5f %12.5f\n" q injected
+          rb.Characterize.Benchmarking.error_per_gate
+          ro.Characterize.Benchmarking.error
+      done;
+      Printf.printf "\n%-10s %12s %12s\n" "Coupling" "2Q injected" "2Q recovered";
+      List.iter
+        (fun (a, b) ->
+          let injected =
+            Sim.Noise.gate_error_prob noise (Ir.Gate.Two (Ir.Gate.Cnot, a, b))
+          in
+          let rb = Characterize.Benchmarking.two_qubit machine ~day ~a ~b in
+          Printf.printf "%-10s %12.5f %12.5f\n"
+            (Printf.sprintf "%d-%d" a b)
+            injected rb.Characterize.Benchmarking.error_per_gate)
+        (Device.Topology.edges machine.Device.Machine.topology);
+      0
+  in
+  let doc = "Estimate a machine's error rates by randomized benchmarking." in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ machine_pos $ day_arg)
+
+let export_cmd =
+  let machine_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc:"Machine name.")
+  in
+  let run machine_name =
+    match find_machine machine_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1
+    | Ok machine ->
+      print_string (Device.Machine_io.to_string machine);
+      0
+  in
+  let doc = "Export a machine description as JSON (edit it, then pass the file as -m)." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ machine_pos)
+
+let bench_cmd =
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"MACHINE"
+          ~doc:"Compile and execute every fitting benchmark on MACHINE (name or JSON file), printing success rates.")
+  in
+  let run machine_spec day =
+    match machine_spec with
+    | None ->
+      List.iter
+        (fun (p : Bench_kit.Programs.t) ->
+          let flat = Ir.Decompose.flatten p.Bench_kit.Programs.circuit in
+          Printf.printf "%-10s %2d qubits, %3d 1Q, %2d 2Q  %s\n"
+            p.Bench_kit.Programs.name
+            p.Bench_kit.Programs.circuit.Ir.Circuit.n_qubits
+            (Ir.Circuit.one_q_count flat) (Ir.Circuit.two_q_count flat)
+            p.Bench_kit.Programs.description)
+        (Bench_kit.Programs.all @ Bench_kit.Programs.extras);
+      0
+    | Some spec -> (
+      match find_machine spec with
+      | Error msg ->
+        Printf.eprintf "triqc: %s\n" msg;
+        1
+      | Ok machine ->
+        Printf.printf "%-10s %6s %8s %8s %10s\n" "Benchmark" "2Q" "ESP" "success"
+          "dominates";
+        List.iter
+          (fun (p : Bench_kit.Programs.t) ->
+            if Device.Machine.fits machine p.Bench_kit.Programs.circuit then begin
+              let compiled =
+                Triq.Pipeline.compile ~day machine p.Bench_kit.Programs.circuit
+                  ~level:Triq.Pipeline.OneQOptCN
+              in
+              let outcome =
+                Sim.Runner.run
+                  (Triq.Pipeline.to_compiled compiled)
+                  p.Bench_kit.Programs.spec
+              in
+              Printf.printf "%-10s %6d %8.3f %8.3f %10s\n" p.Bench_kit.Programs.name
+                compiled.Triq.Pipeline.two_q_count compiled.Triq.Pipeline.esp
+                outcome.Sim.Runner.success_rate
+                (if outcome.Sim.Runner.dominant_correct then "yes" else "NO")
+            end
+            else Printf.printf "%-10s %6s\n" p.Bench_kit.Programs.name "X")
+          Bench_kit.Programs.all;
+        0)
+  in
+  let doc = "List the built-in benchmarks, or run them all on a machine (--run)." in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ run_arg $ day_arg)
+
+let () =
+  let doc = "TriQ: a multi-vendor noise-adaptive quantum compiler." in
+  let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/cross_platform.ml: Backend Bench_kit Device List Printf Sim Triq

@@ -1,0 +1,1 @@
+examples/custom_device.ml: Bench_kit Characterize Device List Printf Sim Triq

@@ -1,0 +1,1 @@
+examples/error_budget.ml: Bench_kit Device Ir List Printf Sim Triq

@@ -1,0 +1,1 @@
+examples/noise_adaptive.ml: Array Bench_kit Device List Mathkit Printf Sim String Triq

@@ -1,0 +1,1 @@
+examples/pulse_level.ml: Bench_kit Device List Printf Pulse Triq

@@ -1,0 +1,1 @@
+examples/pulse_level.mli:

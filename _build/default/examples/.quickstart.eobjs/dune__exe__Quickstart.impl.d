@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Device Format Ir List Printf Scaffold Sim Triq

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Bench_kit Device List Printf Sys Triq

@@ -1,0 +1,1 @@
+examples/vqe_chemistry.ml: Array Device Float Ir List Printf Sim Triq

@@ -1,0 +1,1 @@
+lib/backend/emit.ml: Device Qasm_emit Quil_emit Ti_emit Triq

@@ -1,0 +1,1 @@
+lib/backend/qasm_emit.ml: Buffer Device Ir List Printf Triq

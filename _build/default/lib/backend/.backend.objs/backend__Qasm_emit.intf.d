@@ -1,0 +1,1 @@
+lib/backend/qasm_emit.mli: Ir Triq

@@ -1,0 +1,1 @@
+lib/backend/quil_emit.ml: Buffer Device Ir List Printf Triq

@@ -1,0 +1,1 @@
+lib/backend/quil_parse.ml: Float Ir List Printf String

@@ -1,0 +1,1 @@
+lib/backend/ti_emit.ml: Buffer Device Ir List Printf Triq

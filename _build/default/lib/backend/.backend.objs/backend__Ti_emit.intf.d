@@ -1,0 +1,1 @@
+lib/backend/ti_emit.mli: Ir Triq

@@ -1,0 +1,1 @@
+lib/backend/ti_parse.ml: Ir List Printf String

@@ -1,0 +1,1 @@
+lib/backend/ti_parse.mli: Ir

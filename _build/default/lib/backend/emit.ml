@@ -1,0 +1,12 @@
+let executable (compiled : Triq.Compiled.t) =
+  match compiled.Triq.Compiled.machine.Device.Machine.basis with
+  | Device.Gateset.Ibm_visible -> Qasm_emit.emit compiled
+  | Device.Gateset.Rigetti_visible | Device.Gateset.Rigetti_parametric_visible ->
+    Quil_emit.emit compiled
+  | Device.Gateset.Umd_visible -> Ti_emit.emit compiled
+
+let format_name (compiled : Triq.Compiled.t) =
+  match compiled.Triq.Compiled.machine.Device.Machine.basis with
+  | Device.Gateset.Ibm_visible -> "OpenQASM 2.0"
+  | Device.Gateset.Rigetti_visible | Device.Gateset.Rigetti_parametric_visible -> "Quil"
+  | Device.Gateset.Umd_visible -> "UMD TI ASM"

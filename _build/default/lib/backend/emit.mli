@@ -1,0 +1,12 @@
+(** Vendor-dispatching code generation: the last stage of Figure 4.
+
+    "IBM OpenQASM / Rigetti Quil / UMD TI ASM" — chosen by the target
+    machine's gate interface. *)
+
+(** [executable compiled] is the executable text in the target machine's
+    native format. *)
+val executable : Triq.Compiled.t -> string
+
+(** [format_name compiled] names the emitted format ("OpenQASM 2.0",
+    "Quil", "UMD TI ASM"). *)
+val format_name : Triq.Compiled.t -> string

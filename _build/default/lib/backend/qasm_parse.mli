@@ -1,0 +1,14 @@
+(** Parser for the OpenQASM 2.0 subset {!Qasm_emit} produces (u1/u2/u3,
+    cx, measure). Used for round-trip testing of the code generator and
+    for re-importing emitted executables. *)
+
+exception Error of string * int
+(** [Error (message, line_number)] *)
+
+type program = {
+  n_qubits : int;
+  circuit : Ir.Circuit.t;
+  readout : (int * int) list;  (** classical bit -> hardware qubit *)
+}
+
+val parse : string -> program

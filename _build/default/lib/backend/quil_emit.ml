@@ -1,0 +1,37 @@
+let render ~name (gates : Ir.Gate.t list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" name);
+  let measures = List.filter Ir.Gate.is_measure gates in
+  if measures <> [] then
+    Buffer.add_string buf (Printf.sprintf "DECLARE ro BIT[%d]\n" (List.length measures));
+  let next_cbit = ref 0 in
+  List.iter
+    (fun g ->
+      (match (g : Ir.Gate.t) with
+      | One (Rz theta, q) -> Buffer.add_string buf (Printf.sprintf "RZ(%.17g) %d" theta q)
+      | One (Rx theta, q) -> Buffer.add_string buf (Printf.sprintf "RX(%.17g) %d" theta q)
+      | Two (Cz, a, b) -> Buffer.add_string buf (Printf.sprintf "CZ %d %d" a b)
+      | Two (Iswap, a, b) -> Buffer.add_string buf (Printf.sprintf "ISWAP %d %d" a b)
+      | Measure q ->
+        Buffer.add_string buf (Printf.sprintf "MEASURE %d ro[%d]" q !next_cbit);
+        incr next_cbit
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Quil_emit: gate %s is not Rigetti software-visible"
+             (Ir.Gate.to_string other)));
+      Buffer.add_char buf '\n')
+    gates;
+  Buffer.contents buf
+
+let emit_circuit ~name (c : Ir.Circuit.t) = render ~name c.Ir.Circuit.gates
+
+let emit (compiled : Triq.Compiled.t) =
+  (match compiled.Triq.Compiled.machine.Device.Machine.basis with
+  | Device.Gateset.Rigetti_visible | Device.Gateset.Rigetti_parametric_visible -> ()
+  | _ -> invalid_arg "Quil_emit.emit: executable is not in Rigetti form");
+  render
+    ~name:
+      (Printf.sprintf "target: %s, compiler: %s, calibration day %d"
+         compiled.Triq.Compiled.machine.Device.Machine.name
+         compiled.Triq.Compiled.compiler compiled.Triq.Compiled.day)
+    compiled.Triq.Compiled.hardware.Ir.Circuit.gates

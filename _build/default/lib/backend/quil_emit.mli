@@ -1,0 +1,10 @@
+(** Quil code generation (the Rigetti executable format).
+
+    Emits the Rigetti software-visible set only (RZ, RX(+-pi/2), CZ,
+    MEASURE); the compiled circuit must be in [Rigetti_visible] form. *)
+
+(** [emit compiled] renders a Quil program. *)
+val emit : Triq.Compiled.t -> string
+
+(** [emit_circuit ~name circuit] renders a bare hardware circuit. *)
+val emit_circuit : name:string -> Ir.Circuit.t -> string

@@ -1,0 +1,101 @@
+exception Error of string * int
+
+type program = { circuit : Ir.Circuit.t; readout : (int * int) list }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error (msg, line))) fmt
+
+let parse_int line s =
+  match int_of_string_opt (String.trim s) with
+  | Some n -> n
+  | None -> fail line "bad integer %S" s
+
+let parse_angle line s =
+  (* "RZ(1.5)" -> 1.5; handles the "pi/2" sugar some Quil writers use. *)
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> (
+    match String.trim s with
+    | "pi" -> Float.pi
+    | "pi/2" -> Float.pi /. 2.0
+    | "-pi/2" -> -.Float.pi /. 2.0
+    | other -> fail line "bad angle %S" other)
+
+let split_words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+let parse_gate_with_angle line text =
+  match (String.index_opt text '(', String.index_opt text ')') with
+  | Some o, Some c when c > o ->
+    let name = String.sub text 0 o in
+    let angle = parse_angle line (String.sub text (o + 1) (c - o - 1)) in
+    let rest = String.sub text (c + 1) (String.length text - c - 1) in
+    (name, angle, split_words rest)
+  | _ -> fail line "expected NAME(angle) form in %S" text
+
+let parse_ro line s =
+  (* "ro[3]" *)
+  let s = String.trim s in
+  if String.length s > 3 && String.sub s 0 3 = "ro[" then begin
+    match String.index_opt s ']' with
+    | Some close -> parse_int line (String.sub s 3 (close - 3))
+    | None -> fail line "bad ro reference %S" s
+  end
+  else fail line "bad ro reference %S" s
+
+let parse source =
+  let gates = ref [] in
+  let readout = ref [] in
+  let max_qubit = ref 0 in
+  let note_qubit q = if q > !max_qubit then max_qubit := q in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim raw in
+      if text = "" || text.[0] = '#' then ()
+      else if String.length text >= 7 && String.sub text 0 7 = "DECLARE" then ()
+      else if String.length text >= 8 && String.sub text 0 8 = "MEASURE " then begin
+        match split_words (String.sub text 8 (String.length text - 8)) with
+        | [ q; ro ] ->
+          let q = parse_int line q in
+          note_qubit q;
+          readout := (parse_ro line ro, q) :: !readout;
+          gates := Ir.Gate.Measure q :: !gates
+        | _ -> fail line "bad MEASURE statement"
+      end
+      else if String.length text >= 3 && String.sub text 0 3 = "CZ " then begin
+        match split_words (String.sub text 3 (String.length text - 3)) with
+        | [ a; b ] ->
+          let a = parse_int line a and b = parse_int line b in
+          note_qubit a;
+          note_qubit b;
+          gates := Ir.Gate.Two (Ir.Gate.Cz, a, b) :: !gates
+        | _ -> fail line "bad CZ statement"
+      end
+      else if String.length text >= 6 && String.sub text 0 6 = "ISWAP " then begin
+        match split_words (String.sub text 6 (String.length text - 6)) with
+        | [ a; b ] ->
+          let a = parse_int line a and b = parse_int line b in
+          note_qubit a;
+          note_qubit b;
+          gates := Ir.Gate.Two (Ir.Gate.Iswap, a, b) :: !gates
+        | _ -> fail line "bad ISWAP statement"
+      end
+      else begin
+        let name, angle, operands = parse_gate_with_angle line text in
+        match (name, operands) with
+        | "RZ", [ q ] ->
+          let q = parse_int line q in
+          note_qubit q;
+          gates := Ir.Gate.One (Ir.Gate.Rz angle, q) :: !gates
+        | "RX", [ q ] ->
+          let q = parse_int line q in
+          note_qubit q;
+          gates := Ir.Gate.One (Ir.Gate.Rx angle, q) :: !gates
+        | _ -> fail line "unsupported statement %S" text
+      end)
+    (String.split_on_char '\n' source);
+  if !gates = [] then raise (Error ("empty program", 1));
+  {
+    circuit = Ir.Circuit.create (!max_qubit + 1) (List.rev !gates);
+    readout = List.sort compare !readout;
+  }

@@ -1,0 +1,14 @@
+(** Parser for the Quil subset {!Quil_emit} produces (RZ, RX, CZ,
+    DECLARE/MEASURE). Used for round-trip testing and for re-importing
+    emitted executables. *)
+
+exception Error of string * int
+(** [Error (message, line_number)] *)
+
+type program = {
+  circuit : Ir.Circuit.t;
+      (** over qubits 0..max mentioned; gate order preserved *)
+  readout : (int * int) list;  (** classical bit -> hardware qubit *)
+}
+
+val parse : string -> program

@@ -1,0 +1,19 @@
+(** UMD trapped-ion low-level assembly generation.
+
+    The UMD machine is driven by a lab-internal pulse assembly; the paper
+    targets "a special low-level assembly code syntax". We emit the same
+    information in a documented textual form:
+
+    {v
+    ; comment
+    R   <ion> <theta> <phi>     Rxy(theta, phi) rotation pulse
+    RZ  <ion> <lambda>          virtual Z frame update (error-free)
+    XX  <ion> <ion> <chi>       Ising interaction
+    MEAS <ion>                  state-dependent fluorescence readout
+    v}
+
+    The compiled circuit must be in [Umd_visible] form. *)
+
+val emit : Triq.Compiled.t -> string
+
+val emit_circuit : name:string -> Ir.Circuit.t -> string

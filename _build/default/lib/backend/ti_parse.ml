@@ -1,0 +1,53 @@
+exception Error of string * int
+
+type program = { circuit : Ir.Circuit.t; measured : int list }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error (msg, line))) fmt
+
+let parse_int line s =
+  match int_of_string_opt s with Some n -> n | None -> fail line "bad integer %S" s
+
+let parse_float line s =
+  match float_of_string_opt s with Some f -> f | None -> fail line "bad angle %S" s
+
+let parse source =
+  let gates = ref [] in
+  let measured = ref [] in
+  let max_ion = ref 0 in
+  let note q = if q > !max_ion then max_ion := q in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim raw in
+      if text = "" || text.[0] = ';' then ()
+      else begin
+        let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' text) in
+        match words with
+        | [ "R"; ion; theta; phi ] ->
+          let ion = parse_int line ion in
+          note ion;
+          gates :=
+            Ir.Gate.One (Ir.Gate.Rxy (parse_float line theta, parse_float line phi), ion)
+            :: !gates
+        | [ "RZ"; ion; lambda ] ->
+          let ion = parse_int line ion in
+          note ion;
+          gates := Ir.Gate.One (Ir.Gate.Rz (parse_float line lambda), ion) :: !gates
+        | [ "XX"; a; b; chi ] ->
+          let a = parse_int line a and b = parse_int line b in
+          note a;
+          note b;
+          gates := Ir.Gate.Two (Ir.Gate.Xx (parse_float line chi), a, b) :: !gates
+        | [ "MEAS"; ion ] ->
+          let ion = parse_int line ion in
+          note ion;
+          measured := ion :: !measured;
+          gates := Ir.Gate.Measure ion :: !gates
+        | _ -> fail line "unsupported statement %S" text
+      end)
+    (String.split_on_char '\n' source);
+  if !gates = [] then raise (Error ("empty program", 1));
+  {
+    circuit = Ir.Circuit.create (!max_ion + 1) (List.rev !gates);
+    measured = List.rev !measured;
+  }

@@ -1,0 +1,12 @@
+(** Parser for the UMD trapped-ion assembly {!Ti_emit} produces
+    (R/RZ/XX/MEAS). Used for round-trip testing. *)
+
+exception Error of string * int
+(** [Error (message, line_number)] *)
+
+type program = {
+  circuit : Ir.Circuit.t;  (** over ions 0..max mentioned *)
+  measured : int list;  (** ions read out, in program order *)
+}
+
+val parse : string -> program

@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Device Ir Triq

@@ -1,0 +1,1 @@
+lib/baselines/qiskit_like.ml: Array Common Device Ir List Mathkit Sys Triq

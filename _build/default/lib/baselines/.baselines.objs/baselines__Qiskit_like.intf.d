@@ -1,0 +1,1 @@
+lib/baselines/qiskit_like.mli: Device Ir Triq

@@ -1,0 +1,1 @@
+lib/baselines/quil_like.mli: Device Ir Triq

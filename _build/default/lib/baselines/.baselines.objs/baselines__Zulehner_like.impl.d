@@ -1,0 +1,1 @@
+lib/baselines/zulehner_like.ml: Array Common Device Ir List Sys Triq

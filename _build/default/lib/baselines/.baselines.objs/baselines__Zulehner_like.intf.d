@@ -1,0 +1,1 @@
+lib/baselines/zulehner_like.mli: Device Ir Triq

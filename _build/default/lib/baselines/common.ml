@@ -1,0 +1,25 @@
+module Machine = Device.Machine
+module Topology = Device.Topology
+
+let finalize machine ~compiler ~day ~program ~initial_placement ~routed
+    ~final_placement ~swap_count ~started_at =
+  let topology = machine.Machine.topology in
+  let expanded = Triq.Translate.expand_swaps routed in
+  let flipped_cnots = Triq.Direction.flipped_count topology expanded in
+  let oriented = Triq.Direction.fix topology expanded in
+  let visible = Triq.Translate.two_q_to_visible machine.Machine.basis oriented in
+  let hardware = Triq.Oneq_opt.optimize machine.Machine.basis visible in
+  let readout_map =
+    List.map (fun p -> (p, final_placement.(p))) (Ir.Circuit.measured_qubits program)
+  in
+  Triq.Compiled.make ~machine ~compiler ~day ~hardware ~initial_placement
+    ~final_placement ~readout_map ~swap_count ~flipped_cnots
+    ~compile_time_s:(Sys.time () -. started_at)
+
+let hop_distances topology =
+  let n = Topology.n_qubits topology in
+  Array.init n (fun src ->
+      Array.init n (fun dst ->
+          match Topology.hop_distance topology src dst with
+          | d -> d
+          | exception Not_found -> max_int / 2))

@@ -1,0 +1,25 @@
+(** Shared back-end for the baseline compilers: once a baseline has placed
+    and routed a program, the remaining stages (SWAP expansion, CNOT
+    orientation repair, translation to the software-visible gate set, 1Q
+    coalescing) are identical, and handled here through the TriQ passes. *)
+
+(** [finalize machine ~compiler ~day ~program ~initial_placement ~routed
+    ~final_placement ~swap_count ~started_at] completes compilation of a
+    routed hardware circuit and packages it as an executable. [program] is
+    the flattened program-level circuit (used for the readout map);
+    [started_at] is the [Sys.time] value when the baseline started, for
+    compile-time reporting. *)
+val finalize :
+  Device.Machine.t ->
+  compiler:string ->
+  day:int ->
+  program:Ir.Circuit.t ->
+  initial_placement:int array ->
+  routed:Ir.Circuit.t ->
+  final_placement:int array ->
+  swap_count:int ->
+  started_at:float ->
+  Triq.Compiled.t
+
+(** [hop_distances topology] is the all-pairs hop-count matrix. *)
+val hop_distances : Device.Topology.t -> int array array

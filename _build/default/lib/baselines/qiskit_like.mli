@@ -1,0 +1,12 @@
+(** Reimplementation of the IBM Qiskit 0.6 compiler behaviour the paper
+    compares against (Section 6.3): a lexicographic (identity) initial
+    layout — "it always uses the first few qubits in the device regardless
+    of noise" — plus greedy stochastic swap insertion that moves the two
+    operands toward each other along hop-distance gradients with random
+    tie-breaking. One-qubit gates are merged into U gates as Qiskit did.
+    Entirely noise-unaware. *)
+
+(** [compile ?day ?seed machine circuit] compiles a program circuit.
+    [seed] drives the stochastic tie-breaking (default 1). *)
+val compile :
+  ?day:int -> ?seed:int -> Device.Machine.t -> Ir.Circuit.t -> Triq.Compiled.t

@@ -1,0 +1,1 @@
+lib/bench_kit/experiments.ml: Baselines Characterize Device Float Format Fun Ir List Mathkit Option Printf Programs Pulse Sequences Sim String Supremacy Sys Table Triq

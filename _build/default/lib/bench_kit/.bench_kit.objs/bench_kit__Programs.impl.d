@@ -1,0 +1,1 @@
+lib/bench_kit/programs.ml: Float Ir List Printf Sim String

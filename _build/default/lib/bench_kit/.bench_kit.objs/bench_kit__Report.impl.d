@@ -1,0 +1,1 @@
+lib/bench_kit/report.ml: Buffer Device Experiments List Mathkit Option Printf Table

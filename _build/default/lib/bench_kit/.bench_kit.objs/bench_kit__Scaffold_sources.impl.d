@@ -1,0 +1,1 @@
+lib/bench_kit/scaffold_sources.ml: List Printf

@@ -1,0 +1,1 @@
+lib/bench_kit/sequences.ml: Ir List Printf Programs

@@ -1,0 +1,1 @@
+lib/bench_kit/supremacy.ml: Array Float Ir List Mathkit

@@ -1,0 +1,1 @@
+lib/bench_kit/table.ml: Array Buffer List Printf String

@@ -1,0 +1,81 @@
+(** The benchmark programs of the study (Figure 7).
+
+    Twelve programs drawn from prior NISQ evaluation work: three
+    Bernstein-Vazirani instances, three Hidden Shift instances, the
+    Toffoli, Fredkin, Or and Peres gates, a Quantum Fourier Transform and
+    a ripple-carry adder. Every benchmark is deterministic: its spec is
+    the single correct output bitstring, obtained by noiseless simulation
+    (and cross-checked against the algorithm's known answer in tests). *)
+
+type t = {
+  name : string;
+  description : string;
+  circuit : Ir.Circuit.t;  (** program-level circuit with measures *)
+  spec : Ir.Spec.t;
+}
+
+(** [bv n] is Bernstein-Vazirani on [n] qubits ([n-1] data + 1 ancilla)
+    with the all-ones hidden string; the paper uses BV4, BV6, BV8. *)
+val bv : int -> t
+
+(** [bv_with_string s] is BV with hidden string [s] (chars '0'/'1'; the
+    data-qubit count is [String.length s]). *)
+val bv_with_string : string -> t
+
+(** [hidden_shift n] is the Hidden Shift algorithm for the
+    Maiorana-McFarland bent function on [n] qubits ([n] even) with the
+    all-ones shift; the paper uses HS2, HS4, HS6. *)
+val hidden_shift : int -> t
+
+(** [hidden_shift_with s] uses shift pattern [s] (length must be even). *)
+val hidden_shift_with : string -> t
+
+val toffoli : t
+val fredkin : t
+val or_gate : t
+val peres : t
+
+(** [qft n] prepares the Fourier state of a fixed integer and applies the
+    inverse QFT, giving a deterministic output. The paper's QFT instance
+    fits the 4-qubit Agave machine. *)
+val qft : int -> t
+
+(** A 1-bit Cuccaro ripple-carry adder on 4 qubits computing 1+1+0. *)
+val adder : t
+
+(** [custom ~name ~description ~n gates ~measured] packages an arbitrary
+    deterministic circuit as a benchmark, deriving its spec by noiseless
+    simulation; raises [Failure] when the output distribution is not
+    (essentially) a single bitstring. *)
+val custom :
+  name:string -> description:string -> n:int -> Ir.Gate.t list -> measured:int list -> t
+
+(** [custom_distribution ~name ~description ~n gates ~measured] packages a
+    circuit whose correct output is its full noiseless distribution —
+    for benchmarks without a single deterministic answer. *)
+val custom_distribution :
+  name:string -> description:string -> n:int -> Ir.Gate.t list -> measured:int list -> t
+
+(** [ghz n] prepares an n-qubit GHZ state; its spec is the *distribution*
+    {00..0: 1/2, 11..1: 1/2} — exercising non-deterministic
+    specifications. Not part of the paper's 12. *)
+val ghz : int -> t
+
+(** [grover2] is two-qubit Grover search for |11> (one oracle + one
+    diffusion round finds it with certainty). Not part of the paper's
+    12. *)
+val grover2 : t
+
+(** The paper's 12 benchmarks, in Figure 7 order:
+    BV4 BV6 BV8 HS2 HS4 HS6 Toffoli Fredkin Or Peres QFT Adder. *)
+val all : t list
+
+(** [grover3 iterations] is 3-qubit Grover search for |111> using
+    CCZ oracles; 2 iterations reach ~94.5% success probability (spec =
+    ideal distribution). *)
+val grover3 : int -> t
+
+(** Extra programs beyond the study's 12 (GHZ3, GHZ5, Grover2, Grover3). *)
+val extras : t list
+
+val find : string -> t option

@@ -1,0 +1,7 @@
+(** Live experiment report: a self-contained markdown document
+    regenerating every figure/table of the evaluation plus the extension
+    studies from the current code — the machine-written counterpart of
+    the hand-annotated EXPERIMENTS.md. Printed by
+    [dune exec bench/main.exe report]. *)
+
+val generate : ?trajectories:int -> unit -> string

@@ -1,0 +1,156 @@
+let bv n =
+  Printf.sprintf
+    {|// Bernstein-Vazirani, hidden string all-ones (%d qubits).
+module main() {
+  qbit q[%d];
+  X(q[%d]);
+  for i in 0..%d { H(q[i]); }
+  for i in 0..%d { CNOT(q[i], q[%d]); }
+  for i in 0..%d { H(q[i]); }
+  for i in 0..%d { measure(q[i]); }
+}
+|}
+    n n (n - 1) n (n - 1) (n - 1) (n - 1) (n - 1)
+
+let hidden_shift n =
+  Printf.sprintf
+    {|// Hidden shift for the Maiorana-McFarland bent function, shift all-ones.
+module main() {
+  qbit q[%d];
+  for i in 0..%d { H(q[i]); }
+  for i in 0..%d { X(q[i]); }
+  for i in 0..%d { CZ(q[2*i], q[2*i + 1]); }
+  for i in 0..%d { X(q[i]); }
+  for i in 0..%d { H(q[i]); }
+  for i in 0..%d { CZ(q[2*i], q[2*i + 1]); }
+  for i in 0..%d { H(q[i]); }
+  measure(q);
+}
+|}
+    n n n (n / 2) n n (n / 2) n
+
+let toffoli =
+  {|// Toffoli gate applied to |110>.
+module main() {
+  qbit q[3];
+  X(q[0]);
+  X(q[1]);
+  Toffoli(q[0], q[1], q[2]);
+  measure(q);
+}
+|}
+
+let fredkin =
+  {|// Fredkin (controlled swap) applied to |1;10>.
+module main() {
+  qbit q[3];
+  X(q[0]);
+  X(q[1]);
+  Fredkin(q[0], q[1], q[2]);
+  measure(q);
+}
+|}
+
+let or_gate =
+  {|// Logical OR of inputs 1,0 into a target, inputs restored (De Morgan).
+module or_gadget(qbit a, qbit b, qbit t) {
+  X(a);
+  X(b);
+  Toffoli(a, b, t);
+  X(a);
+  X(b);
+  X(t);
+}
+module main() {
+  qbit q[3];
+  X(q[0]);
+  or_gadget(q[0], q[1], q[2]);
+  measure(q);
+}
+|}
+
+let peres =
+  {|// Peres gate applied to |110>.
+module peres_gadget(qbit a, qbit b, qbit c) {
+  Toffoli(a, b, c);
+  CNOT(a, b);
+}
+module main() {
+  qbit q[3];
+  X(q[0]);
+  X(q[1]);
+  peres_gadget(q[0], q[1], q[2]);
+  measure(q);
+}
+|}
+
+let qft4 =
+  {|// Inverse QFT recovering |9> from its Fourier state (4 qubits).
+module cp2(qbit a, qbit b) {  // controlled phase of -pi/2
+  Rz(-pi/4, a);
+  Rz(-pi/4, b);
+  CNOT(a, b);
+  Rz(pi/4, b);
+  CNOT(a, b);
+}
+module cp4(qbit a, qbit b) {  // controlled phase of -pi/4
+  Rz(-pi/8, a);
+  Rz(-pi/8, b);
+  CNOT(a, b);
+  Rz(pi/8, b);
+  CNOT(a, b);
+}
+module cp8(qbit a, qbit b) {  // controlled phase of -pi/8
+  Rz(-pi/16, a);
+  Rz(-pi/16, b);
+  CNOT(a, b);
+  Rz(pi/16, b);
+  CNOT(a, b);
+}
+module main() {
+  qbit q[4];
+  // Prepare the Fourier state of k = 9 (bit-reversed phase layout).
+  H(q[0]); Rz(2*pi*9/16, q[0]);
+  H(q[1]); Rz(2*pi*9/8, q[1]);
+  H(q[2]); Rz(2*pi*9/4, q[2]);
+  H(q[3]); Rz(2*pi*9/2, q[3]);
+  // Inverse QFT (no final swaps; the preparation matches this order).
+  H(q[3]);
+  cp2(q[3], q[2]); H(q[2]);
+  cp4(q[3], q[1]); cp2(q[2], q[1]); H(q[1]);
+  cp8(q[3], q[0]); cp4(q[2], q[0]); cp2(q[1], q[0]); H(q[0]);
+  measure(q);
+}
+|}
+
+let adder =
+  {|// 1-bit Cuccaro ripple-carry adder computing 1 + 1 + 0.
+// Qubits: q[0] = carry-in, q[1] = a, q[2] = b, q[3] = carry-out.
+module main() {
+  qbit q[4];
+  X(q[1]);
+  X(q[2]);
+  // MAJ
+  CNOT(q[1], q[2]);
+  CNOT(q[1], q[0]);
+  Toffoli(q[0], q[2], q[1]);
+  // carry out
+  CNOT(q[1], q[3]);
+  // UMA
+  Toffoli(q[0], q[2], q[1]);
+  CNOT(q[1], q[0]);
+  CNOT(q[0], q[2]);
+  measure(q);
+}
+|}
+
+let all =
+  [
+    ("BV4", bv 4); ("BV6", bv 6); ("BV8", bv 8);
+    ("HS2", hidden_shift 2); ("HS4", hidden_shift 4); ("HS6", hidden_shift 6);
+    ("Toffoli", toffoli); ("Fredkin", fredkin); ("Or", or_gate); ("Peres", peres);
+    ("QFT4", qft4); ("Adder", adder);
+  ]
+
+let source name =
+  match List.assoc_opt name all with Some s -> s | None -> raise Not_found

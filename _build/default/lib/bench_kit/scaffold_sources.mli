@@ -1,0 +1,14 @@
+(** The 12 study benchmarks as Scaffold source programs.
+
+    The paper's workflow starts from Scaffold source ("We created Scaffold
+    programs for each benchmark", Section 5); these are the source-level
+    versions of {!Programs.all}, exercising the language front end on
+    realistic programs. Tests check each source lowers to a circuit whose
+    ideal output matches the corresponding IR-level construction. *)
+
+(** [source name] is the Scaffold text of the named benchmark
+    (names as in {!Programs.all}); raises [Not_found] for unknown names. *)
+val source : string -> string
+
+(** [all] is every (benchmark name, source) pair, in Figure 7 order. *)
+val all : (string * string) list

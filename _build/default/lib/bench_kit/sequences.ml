@@ -1,0 +1,22 @@
+open Ir.Gate
+
+let check k = if k < 1 then invalid_arg "Sequences: iteration count must be >= 1"
+
+let toffoli k =
+  check k;
+  Programs.custom
+    ~name:(Printf.sprintf "Toffoli-x%d" k)
+    ~description:(Printf.sprintf "%d chained Toffoli gates on |110>" k)
+    ~n:3
+    ([ One (X, 0); One (X, 1) ] @ List.concat (List.init k (fun _ -> [ Ccx (0, 1, 2) ])))
+    ~measured:[ 0; 1; 2 ]
+
+let fredkin k =
+  check k;
+  Programs.custom
+    ~name:(Printf.sprintf "Fredkin-x%d" k)
+    ~description:(Printf.sprintf "%d chained Fredkin gates on |110>" k)
+    ~n:3
+    ([ One (X, 0); One (X, 1) ]
+    @ List.concat (List.init k (fun _ -> [ Cswap (0, 1, 2) ])))
+    ~measured:[ 0; 1; 2 ]

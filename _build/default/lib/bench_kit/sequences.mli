@@ -1,0 +1,14 @@
+(** Iterated gate-sequence benchmarks (Figures 11e and 11f).
+
+    UMDTI's low error rates make the 12 standard benchmarks easy, so the
+    paper stresses it with chains of Toffoli or Fredkin gates: each extra
+    iteration lengthens the 2Q gate sequence, exposing the benefit of
+    noise-adaptive placement as programs grow. *)
+
+(** [toffoli k] iterates the Toffoli gate [k] times on the |110> input
+    (1 <= k; the paper sweeps 1..8). *)
+val toffoli : int -> Programs.t
+
+(** [fredkin k] iterates the Fredkin gate [k] times on |110>
+    (the paper sweeps 1..7). *)
+val fredkin : int -> Programs.t

@@ -1,0 +1,74 @@
+module Rng = Mathkit.Rng
+open Ir.Gate
+
+(* The four grid CZ patterns, cycled per layer: horizontal pairs starting
+   at even/odd columns, vertical pairs starting at even/odd rows. *)
+let pattern ~rows ~cols step =
+  let idx r c = (r * cols) + c in
+  let pairs = ref [] in
+  (match step mod 4 with
+  | 0 ->
+    for r = 0 to rows - 1 do
+      let c = ref 0 in
+      while !c + 1 < cols do
+        pairs := (idx r !c, idx r (!c + 1)) :: !pairs;
+        c := !c + 2
+      done
+    done
+  | 1 ->
+    for r = 0 to rows - 1 do
+      let c = ref 1 in
+      while !c + 1 < cols do
+        pairs := (idx r !c, idx r (!c + 1)) :: !pairs;
+        c := !c + 2
+      done
+    done
+  | 2 ->
+    for c = 0 to cols - 1 do
+      let r = ref 0 in
+      while !r + 1 < rows do
+        pairs := (idx !r c, idx (!r + 1) c) :: !pairs;
+        r := !r + 2
+      done
+    done
+  | _ ->
+    for c = 0 to cols - 1 do
+      let r = ref 1 in
+      while !r + 1 < rows do
+        pairs := (idx !r c, idx (!r + 1) c) :: !pairs;
+        r := !r + 2
+      done
+    done);
+  !pairs
+
+let random_one_q rng =
+  match Rng.int rng 3 with
+  | 0 -> T
+  | 1 -> Rx (Float.pi /. 2.0)
+  | _ -> Ry (Float.pi /. 2.0)
+
+let circuit ~seed ~rows ~cols ~depth =
+  if rows < 2 || cols < 2 then invalid_arg "Supremacy.circuit: grid too small";
+  let n = rows * cols in
+  let rng = Rng.create seed in
+  let gates = ref [] in
+  (* Initial layer of Hadamards, as in the Cirq generator. *)
+  for q = n - 1 downto 0 do
+    gates := One (H, q) :: !gates
+  done;
+  for step = 0 to depth - 1 do
+    let pairs = pattern ~rows ~cols step in
+    let busy = Array.make n false in
+    List.iter
+      (fun (a, b) ->
+        busy.(a) <- true;
+        busy.(b) <- true;
+        gates := Two (Cz, a, b) :: !gates)
+      pairs;
+    for q = 0 to n - 1 do
+      if not busy.(q) then gates := One (random_one_q rng, q) :: !gates
+    done
+  done;
+  Ir.Circuit.create n (List.rev !gates)
+
+let two_q_count = Ir.Circuit.two_q_count

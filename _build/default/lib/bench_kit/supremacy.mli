@@ -1,0 +1,15 @@
+(** Quantum-supremacy-style random circuits (Section 6.5's scaling study).
+
+    Modeled on the Google Cirq supremacy circuit generator: a 2D grid of
+    qubits, alternating layers of CZ gates drawn from a cycling set of
+    coupling patterns, with random single-qubit gates from
+    {T, sqrt-X, sqrt-Y} on the qubits idle in each layer. These circuits
+    are used only to measure compiler scalability (they are far too large
+    to simulate), mapping onto the announced 72-qubit Bristlecone grid. *)
+
+(** [circuit ~seed ~rows ~cols ~depth] builds a supremacy circuit on a
+    [rows x cols] grid with [depth] CZ layers. *)
+val circuit : seed:int -> rows:int -> cols:int -> depth:int -> Ir.Circuit.t
+
+(** [two_q_count c] counts the CZ interactions of a generated circuit. *)
+val two_q_count : Ir.Circuit.t -> int

@@ -1,0 +1,1 @@
+lib/characterize/benchmarking.ml: Array Device Fit Float Ir List Mathkit Sim

@@ -1,0 +1,1 @@
+lib/characterize/benchmarking.mli: Device

@@ -1,0 +1,72 @@
+(** Randomized-benchmarking-style error characterization.
+
+    TriQ consumes "a summary of empirical device error data" (Section 4.1)
+    — on real systems that summary is produced by calibration experiments
+    like randomized benchmarking. This module runs the same style of
+    experiment against the simulator: sequences of random self-inverting
+    gate pairs of growing length, survival probability fitted to
+    A * p^m, and error-per-operation extracted from the decay. The
+    recovered rates must agree with the calibration data that drives the
+    noise model (tested), closing the loop between the device model and
+    the compiler's noise inputs.
+
+    Depolarizing-channel algebra: a one-qubit uniform Pauli error with
+    probability e shrinks the Bloch vector by p = 1 - 2e (under the
+    X/Y/Z-uniform model used by the simulator, the survival of a basis
+    state decays per faulty step by that factor on average); we therefore
+    report e_hat = (1 - p)/2 per *pair* step and halve it per gate for
+    one-qubit benchmarking, and analogously for two-qubit sequences with
+    the 15-Pauli channel. *)
+
+type result = {
+  decay : float;  (** fitted p per sequence step *)
+  error_per_gate : float;  (** extracted average gate error *)
+  r_squared : float;  (** fit quality *)
+  points : (float * float) list;  (** (sequence length, survival) *)
+}
+
+(** [one_qubit ?seed ?lengths ?samples machine ~day ~qubit] benchmarks the
+    1Q error of a hardware qubit by running random X/Y pairs (each pair =
+    2 gates, identity in total) of each length and fitting the survival
+    decay. *)
+val one_qubit :
+  ?seed:int -> ?lengths:int list -> ?samples:int -> Device.Machine.t -> day:int ->
+  qubit:int -> result
+
+(** [two_qubit ?seed ?lengths ?samples machine ~day ~a ~b] benchmarks a
+    coupling with even-length CNOT (or CZ/XX) sequences. *)
+val two_qubit :
+  ?seed:int -> ?lengths:int list -> ?samples:int -> Device.Machine.t -> day:int ->
+  a:int -> b:int -> result
+
+(** Interleaved randomized benchmarking: isolates a *specific* two-qubit
+    gate's error by comparing the decay of reference sequences (random
+    self-inverting one-qubit pairs on both qubits) against sequences with
+    the target CNOT pair interleaved after every step. The per-CNOT decay
+    is sqrt(lambda_interleaved / lambda_reference); as in laboratory IRB
+    the extraction is approximate (the reference contribution cancels only
+    to first order). *)
+type interleaved = {
+  reference : result;
+  interleaved : result;
+  gate_error : float;  (** extracted error of one target gate *)
+}
+
+val interleaved_two_qubit :
+  ?seed:int -> ?lengths:int list -> ?samples:int -> Device.Machine.t -> day:int ->
+  a:int -> b:int -> interleaved
+
+(** Readout characterization: prepare |0> and |1> and measure assignment
+    fidelities. Under the simulator's symmetric readout-flip model both
+    preparations recover the same flip probability; [error] is their
+    average (the quantity published in calibration data). *)
+type readout = {
+  p_read1_given0 : float;  (** probability of reading 1 after preparing 0 *)
+  p_read0_given1 : float;  (** probability of reading 0 after preparing 1 *)
+  error : float;
+}
+
+(** [readout machine ~day ~qubit] runs the two preparation experiments
+    analytically (including the 1Q error of the preparation X pulse on the
+    |1> side). *)
+val readout : Device.Machine.t -> day:int -> qubit:int -> readout

@@ -1,0 +1,34 @@
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fx = List.map fst points in
+  if List.sort_uniq Float.compare fx |> List.length < 2 then
+    invalid_arg "Fit.linear: need at least two distinct x";
+  let nf = float_of_int n in
+  let sum f = List.fold_left (fun acc p -> acc +. f p) 0.0 points in
+  let sx = sum fst and sy = sum snd in
+  let sxx = sum (fun (x, _) -> x *. x) and sxy = sum (fun (x, y) -> x *. y) in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  let a = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let b = (sy -. (a *. sx)) /. nf in
+  (a, b)
+
+let exponential_decay points =
+  let usable = List.filter (fun (_, y) -> y > 0.0) points in
+  if List.length usable < 2 then
+    invalid_arg "Fit.exponential_decay: need at least two positive points";
+  let logged = List.map (fun (x, y) -> (x, log y)) usable in
+  let slope, intercept = linear logged in
+  (exp slope, exp intercept)
+
+let r_squared points f =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Fit.r_squared: need at least two points"
+  | _ ->
+    let ys = List.map snd points in
+    let mean = List.fold_left ( +. ) 0.0 ys /. float_of_int (List.length ys) in
+    let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 ys in
+    let ss_res =
+      List.fold_left (fun acc (x, y) -> acc +. ((y -. f x) ** 2.0)) 0.0 points
+    in
+    if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot)

@@ -1,0 +1,15 @@
+(** Least-squares fitting for benchmarking decay curves. *)
+
+(** [linear points] fits y = a*x + b by ordinary least squares over
+    [(x, y)] points (at least two distinct x), returning [(a, b)]. *)
+val linear : (float * float) list -> float * float
+
+(** [exponential_decay points] fits y = A * p^x for positive observations
+    by linear regression in log space, returning [(p, a)] with [a = A].
+    Points with y <= 0 are dropped; raises [Invalid_argument] if fewer
+    than two usable points remain. *)
+val exponential_decay : (float * float) list -> float * float
+
+(** [r_squared points f] is the coefficient of determination of model [f]
+    on the points (1 = perfect fit). *)
+val r_squared : (float * float) list -> (float -> float) -> float

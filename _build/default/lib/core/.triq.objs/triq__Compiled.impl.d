@@ -1,0 +1,1 @@
+lib/core/compiled.ml: Device Ir List

@@ -1,0 +1,1 @@
+lib/core/compiled.mli: Device Ir

@@ -1,0 +1,1 @@
+lib/core/direction.ml: Device Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/direction.mli: Device Ir

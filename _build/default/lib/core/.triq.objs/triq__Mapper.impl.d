@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Float Hashtbl Ir List Option Reliability

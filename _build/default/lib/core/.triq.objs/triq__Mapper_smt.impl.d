@@ -1,0 +1,1 @@
+lib/core/mapper_smt.ml: Array Float Ir List Mapper Reliability Smt

@@ -1,0 +1,1 @@
+lib/core/mapper_smt.mli: Ir Mapper Reliability

@@ -1,0 +1,1 @@
+lib/core/oneq_opt.ml: Array Ir List Mathkit Translate

@@ -1,0 +1,1 @@
+lib/core/oneq_opt.mli: Device Ir

@@ -1,0 +1,1 @@
+lib/core/reliability.ml: Array Device Format List

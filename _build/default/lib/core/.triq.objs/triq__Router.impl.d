@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Device Ir List Reliability

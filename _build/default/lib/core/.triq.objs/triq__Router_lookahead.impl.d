@@ -1,0 +1,1 @@
+lib/core/router_lookahead.ml: Array Device Float Ir List Reliability Router

@@ -1,0 +1,1 @@
+lib/core/router_lookahead.mli: Device Ir Reliability Router

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Device Float Ir List Mathkit

@@ -1,0 +1,37 @@
+module Topology = Device.Topology
+
+let needs_flip topology a b =
+  if not (Topology.directed topology) then false
+  else if Topology.has_directed_edge topology a b then false
+  else if Topology.has_directed_edge topology b a then true
+  else invalid_arg (Printf.sprintf "Direction: CNOT on uncoupled pair (%d,%d)" a b)
+
+let fix topology (c : Ir.Circuit.t) =
+  if not (Topology.directed topology) then c
+  else begin
+    let rewrite g =
+      match (g : Ir.Gate.t) with
+      | Two (Cnot, a, b) when needs_flip topology a b ->
+        [
+          Ir.Gate.One (Ir.Gate.H, a);
+          Ir.Gate.One (Ir.Gate.H, b);
+          Ir.Gate.Two (Ir.Gate.Cnot, b, a);
+          Ir.Gate.One (Ir.Gate.H, a);
+          Ir.Gate.One (Ir.Gate.H, b);
+        ]
+      | other -> [ other ]
+    in
+    Ir.Circuit.create c.Ir.Circuit.n_qubits
+      (List.concat_map rewrite c.Ir.Circuit.gates)
+  end
+
+let flipped_count topology (c : Ir.Circuit.t) =
+  if not (Topology.directed topology) then 0
+  else
+    List.length
+      (List.filter
+         (fun g ->
+           match (g : Ir.Gate.t) with
+           | Two (Cnot, a, b) -> needs_flip topology a b
+           | _ -> false)
+         c.Ir.Circuit.gates)

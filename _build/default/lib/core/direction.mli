@@ -1,0 +1,17 @@
+(** CNOT orientation repair for directed couplings (IBM).
+
+    IBM's cross-resonance CNOTs are hardware-supported in one direction
+    per coupling. A CNOT against the grain is rewritten by conjugating the
+    hardware-direction CNOT with Hadamards on both qubits; the extra 1Q
+    gates are later absorbed by the 1Q optimizer. Undirected topologies
+    pass through untouched. *)
+
+(** [fix topology c] reorients every [Cnot] in the hardware circuit [c] to
+    a hardware-supported direction. Raises [Invalid_argument] if a CNOT
+    sits on an uncoupled pair (the router must run first). SWAPs must
+    already be expanded ([Translate.expand_swaps]). *)
+val fix : Device.Topology.t -> Ir.Circuit.t -> Ir.Circuit.t
+
+(** [flipped_count topology c] counts CNOTs that [fix] would reverse —
+    used for reporting 1Q overhead attribution. *)
+val flipped_count : Device.Topology.t -> Ir.Circuit.t -> int

@@ -1,0 +1,52 @@
+(** Noise-adaptive qubit placement (Section 4.3).
+
+    The paper phrases placement as a constrained-optimization problem
+    handed to the Z3 SMT solver with a *maximize-the-minimum-reliability*
+    objective, chosen over the product objective of prior work precisely
+    because partial assignments can be pruned as soon as any mapped
+    operation's reliability drops below the incumbent. No Z3 bindings
+    exist in this environment, so we implement that same objective with an
+    explicit branch-and-bound search over assignments — the pruning rule
+    is literally the one the paper credits for scalability. Ties on the
+    min are broken by the product of reliabilities (the estimated success
+    probability).
+
+    The search is exact when it terminates within its node budget and
+    otherwise returns the best placement found (reported via
+    [optimal]). *)
+
+type result = {
+  placement : int array;  (** program qubit -> hardware qubit *)
+  objective : float;  (** min reliability over mapped 2Q ops and readouts *)
+  nodes_explored : int;
+  optimal : bool;  (** search space exhausted within budget *)
+}
+
+(** The optimization objective. [Max_min] is TriQ's (maximize the minimum
+    reliability of any mapped operation — prunes aggressively); [Product]
+    is the whole-graph reliability product of prior work (Murali et al.
+    ASPLOS'19), kept for the ablation study of Section 4.3's scalability
+    argument. *)
+type objective = Max_min | Product
+
+(** [interactions c] aggregates the program's 2Q operations as
+    [((a, b), count)] pairs over program qubits, with (a, b) in first-seen
+    orientation. The circuit must be flattened (no Ccx/Cswap). *)
+val interactions : Ir.Circuit.t -> ((int * int) * int) list
+
+(** [trivial ~n_program ~n_hardware] is the identity placement 0..n-1 used
+    by the default-mapping configurations (and by the Qiskit baseline).
+    Raises [Invalid_argument] when the program does not fit. *)
+val trivial : n_program:int -> n_hardware:int -> int array
+
+(** [solve ?node_budget ?objective reliability circuit] searches for the
+    placement of [circuit]'s program qubits optimizing [objective]
+    (default [Max_min]) over the reliabilities of every 2Q interaction and
+    readout. Default budget: 200_000 nodes. *)
+val solve :
+  ?node_budget:int -> ?objective:objective -> Reliability.t -> Ir.Circuit.t -> result
+
+(** [evaluate reliability circuit placement] is the (min, log-product)
+    objective pair of a complete placement — exposed for tests and for
+    scoring externally produced placements. *)
+val evaluate : Reliability.t -> Ir.Circuit.t -> int array -> float * float

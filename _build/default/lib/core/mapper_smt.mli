@@ -1,0 +1,20 @@
+(** SMT-style qubit mapping: the paper's Section 4.3 formulation, encoded
+    for a satisfiability solver.
+
+    Variables x(p,h) assert "program qubit p sits on hardware qubit h";
+    constraints say every program qubit gets exactly one hardware qubit
+    and no hardware qubit holds two. The max-min reliability objective is
+    realized the way optimizing SMT solvers realize it: a descending
+    threshold search — for a candidate reliability floor t, clauses forbid
+    any interacting pair from landing on a placement scoring below t (and
+    any measured qubit from a readout below t); the optimum is the largest
+    t still satisfiable, found by binary search over the distinct
+    reliability values.
+
+    Produces the same objective value as {!Mapper.solve} (cross-checked in
+    tests); exposed separately so the two engines can be compared. *)
+
+(** [solve reliability circuit] maps the flattened [circuit]. The result's
+    [nodes_explored] reports total SAT decisions across the threshold
+    search; [optimal] is always true (the search is exact). *)
+val solve : Reliability.t -> Ir.Circuit.t -> Mapper.result

@@ -1,0 +1,45 @@
+module Q = Mathkit.Quaternion
+
+let naive basis (c : Ir.Circuit.t) =
+  let rewrite g =
+    match (g : Ir.Gate.t) with
+    | One (k, q) -> Translate.emit_rotation basis q (Ir.Gate.one_q_to_quaternion k)
+    | (Two _ | Measure _) as other -> [ other ]
+    | Ccx _ | Cswap _ -> invalid_arg "Oneq_opt.naive: not flattened"
+  in
+  Ir.Circuit.create c.Ir.Circuit.n_qubits (List.concat_map rewrite c.Ir.Circuit.gates)
+
+let optimize basis (c : Ir.Circuit.t) =
+  let n = c.Ir.Circuit.n_qubits in
+  let pending = Array.make n Q.identity in
+  let out = ref [] in
+  let emit gs = List.iter (fun g -> out := g :: !out) gs in
+  let flush q =
+    emit (Translate.emit_rotation basis q pending.(q));
+    pending.(q) <- Q.identity
+  in
+  (* Z rotations commute with measurement in the computational basis, so a
+     pure-Z pending rotation before readout is simply dropped. *)
+  let flush_for_measure q =
+    if not (Q.is_z_rotation ~eps:1e-9 pending.(q)) then flush q
+    else pending.(q) <- Q.identity
+  in
+  List.iter
+    (fun g ->
+      match (g : Ir.Gate.t) with
+      | One (k, q) ->
+        (* The new gate applies after the pending rotation: left-multiply. *)
+        pending.(q) <- Q.mul (Ir.Gate.one_q_to_quaternion k) pending.(q)
+      | Two (_, a, b) ->
+        flush a;
+        flush b;
+        emit [ g ]
+      | Measure q ->
+        flush_for_measure q;
+        emit [ g ]
+      | Ccx _ | Cswap _ -> invalid_arg "Oneq_opt.optimize: not flattened")
+    c.Ir.Circuit.gates;
+  for q = 0 to n - 1 do
+    flush q
+  done;
+  Ir.Circuit.create n (List.rev !out)

@@ -1,0 +1,18 @@
+(** One-qubit gate optimization (Section 4.5).
+
+    TriQ represents each 1Q gate as a unit rotation quaternion, multiplies
+    out every run of consecutive 1Q gates on a qubit, and re-emits the
+    composite as at most two error-free Z rotations around one X/Y-axis
+    pulse in the target's software-visible basis. [naive] is the TriQ-N
+    behaviour: each IR gate is translated individually, with no
+    cross-gate coalescing. *)
+
+(** [optimize basis c] coalesces 1Q runs of a hardware circuit and emits
+    software-visible gates. Pure-Z remainders immediately before a
+    measurement are dropped (they cannot affect outcome probabilities).
+    All 2Q gates must already be software-visible. *)
+val optimize : Device.Gateset.basis -> Ir.Circuit.t -> Ir.Circuit.t
+
+(** [naive basis c] translates each 1Q gate separately into the visible
+    basis — no coalescing, no cancellation. *)
+val naive : Device.Gateset.basis -> Ir.Circuit.t -> Ir.Circuit.t

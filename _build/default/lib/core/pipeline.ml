@@ -1,0 +1,141 @@
+module Machine = Device.Machine
+module Calibration = Device.Calibration
+module Gateset = Device.Gateset
+
+type level = N | OneQOpt | OneQOptC | OneQOptCN
+
+let all_levels = [ N; OneQOpt; OneQOptC; OneQOptCN ]
+
+let level_name = function
+  | N -> "TriQ-N"
+  | OneQOpt -> "TriQ-1QOpt"
+  | OneQOptC -> "TriQ-1QOptC"
+  | OneQOptCN -> "TriQ-1QOptCN"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "n" | "triq-n" -> Some N
+  | "1qopt" | "triq-1qopt" -> Some OneQOpt
+  | "1qoptc" | "triq-1qoptc" -> Some OneQOptC
+  | "1qoptcn" | "triq-1qoptcn" -> Some OneQOptCN
+  | _ -> None
+
+type t = {
+  machine : Machine.t;
+  level : level;
+  day : int;
+  hardware : Ir.Circuit.t;
+  initial_placement : int array;
+  final_placement : int array;
+  readout_map : (int * int) list;
+  swap_count : int;
+  two_q_count : int;
+  pulse_count : int;
+  flipped_cnots : int;
+  esp : float;
+  mapper_nodes : int;
+  mapper_optimal : bool;
+  compile_time_s : float;
+  pass_times_s : (string * float) list;
+}
+
+let estimated_success_probability = Compiled.estimated_success_probability
+
+let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default) machine
+    circuit ~level =
+  if not (Machine.fits machine circuit) then
+    invalid_arg
+      (Printf.sprintf "Pipeline.compile: %d-qubit program does not fit %s"
+         circuit.Ir.Circuit.n_qubits machine.Machine.name);
+  let t0 = Sys.time () in
+  let pass_times = ref [] in
+  let timed name f =
+    let start = Sys.time () in
+    let result = f () in
+    pass_times := (name, Sys.time () -. start) :: !pass_times;
+    result
+  in
+  let flat = timed "flatten" (fun () -> Ir.Decompose.flatten circuit) in
+  let calibration = Machine.calibration machine ~day in
+  let topology = machine.Machine.topology in
+  let noise_aware = match level with OneQOptCN -> true | N | OneQOpt | OneQOptC -> false in
+  let reliability =
+    timed "reliability" (fun () -> Reliability.compute ~noise_aware machine calibration)
+  in
+  let initial_placement, mapper_nodes, mapper_optimal =
+    timed "mapping" (fun () ->
+        match level with
+        | N | OneQOpt ->
+          ( Mapper.trivial ~n_program:flat.Ir.Circuit.n_qubits
+              ~n_hardware:(Machine.n_qubits machine),
+            0,
+            true )
+        | OneQOptC | OneQOptCN ->
+          let r = Mapper.solve ?node_budget reliability flat in
+          (r.Mapper.placement, r.Mapper.nodes_explored, r.Mapper.optimal))
+  in
+  let routed =
+    timed "routing" (fun () ->
+        match router with
+        | `Default -> Router.route reliability topology ~placement:initial_placement flat
+        | `Lookahead ->
+          Router_lookahead.route reliability topology ~placement:initial_placement flat)
+  in
+  let hardware =
+    timed "translation" (fun () ->
+        let expanded =
+          Translate.expand_swaps ~basis:machine.Machine.basis routed.Router.circuit
+        in
+        let expanded = if peephole then Peephole.cancel_two_q expanded else expanded in
+        let oriented = Direction.fix topology expanded in
+        let visible_two_q = Translate.two_q_to_visible machine.Machine.basis oriented in
+        match level with
+        | N -> Oneq_opt.naive machine.Machine.basis visible_two_q
+        | OneQOpt | OneQOptC | OneQOptCN ->
+          Oneq_opt.optimize machine.Machine.basis visible_two_q)
+  in
+  let flipped_cnots =
+    Direction.flipped_count topology
+      (Translate.expand_swaps ~basis:machine.Machine.basis routed.Router.circuit)
+  in
+  let compile_time_s = Sys.time () -. t0 in
+  let readout_map =
+    List.map
+      (fun p -> (p, routed.Router.final_placement.(p)))
+      (Ir.Circuit.measured_qubits flat)
+  in
+  {
+    machine;
+    level;
+    day;
+    hardware;
+    initial_placement;
+    final_placement = routed.Router.final_placement;
+    readout_map;
+    swap_count = routed.Router.swap_count;
+    two_q_count = Ir.Circuit.two_q_count hardware;
+    pulse_count = Gateset.circuit_pulse_count machine.Machine.basis hardware;
+    flipped_cnots;
+    esp = estimated_success_probability machine calibration hardware;
+    mapper_nodes;
+    mapper_optimal;
+    compile_time_s;
+    pass_times_s = List.rev !pass_times;
+  }
+
+let to_compiled t =
+  {
+    Compiled.machine = t.machine;
+    compiler = level_name t.level;
+    day = t.day;
+    hardware = t.hardware;
+    initial_placement = t.initial_placement;
+    final_placement = t.final_placement;
+    readout_map = t.readout_map;
+    swap_count = t.swap_count;
+    two_q_count = t.two_q_count;
+    pulse_count = t.pulse_count;
+    flipped_cnots = t.flipped_cnots;
+    esp = t.esp;
+    compile_time_s = t.compile_time_s;
+  }

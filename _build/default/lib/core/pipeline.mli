@@ -1,0 +1,72 @@
+(** The complete TriQ toolflow (Figure 4) and its optimization levels
+    (Table 1).
+
+    - [N]: default (identity) qubit mapping, naive gate-by-gate
+      translation to the software-visible set;
+    - [OneQOpt]: adds quaternion-based 1Q coalescing;
+    - [OneQOptC]: adds communication-optimized mapping and routing over a
+      reliability matrix built from device-average error rates
+      (noise-unaware);
+    - [OneQOptCN]: reliability matrix built from the day's calibration
+      data (noise-aware mapping and routing).
+
+    All levels route through the topology, repair CNOT orientation on
+    directed machines, and emit only software-visible gates. *)
+
+type level = N | OneQOpt | OneQOptC | OneQOptCN
+
+val all_levels : level list
+val level_name : level -> string
+val level_of_string : string -> level option
+
+(** A compiled executable plus compilation metadata. *)
+type t = {
+  machine : Device.Machine.t;
+  level : level;
+  day : int;  (** calibration day compiled against *)
+  hardware : Ir.Circuit.t;  (** software-visible gates on hardware qubits *)
+  initial_placement : int array;
+  final_placement : int array;
+  readout_map : (int * int) list;
+      (** measured program qubit -> hardware qubit holding it at readout *)
+  swap_count : int;
+  two_q_count : int;  (** hardware 2Q operations after all expansion *)
+  pulse_count : int;  (** physical X/Y pulses (Figure 8's metric) *)
+  flipped_cnots : int;  (** CNOTs reoriented for directed couplings *)
+  esp : float;  (** estimated success probability under the calibration *)
+  mapper_nodes : int;
+  mapper_optimal : bool;
+  compile_time_s : float;
+  pass_times_s : (string * float) list;
+      (** per-pass wall time: flatten, reliability, mapping, routing,
+          translation (Section 6.5's compile-time attribution) *)
+}
+
+(** [compile ?day ?node_budget machine circuit ~level] runs the toolflow
+    on a program circuit (which may contain Toffoli/Fredkin etc.; it is
+    flattened first). [peephole] (default false, not part of the paper's
+    pipeline) additionally cancels adjacent self-inverse 2Q pairs after
+    routing; [router] selects SWAP insertion: the paper's per-gate
+    reliability-optimal router or the {!Router_lookahead} extension. Both
+    extras are measured by ablation experiments. Raises
+    [Invalid_argument] if the program has more qubits than the machine. *)
+val compile :
+  ?day:int ->
+  ?node_budget:int ->
+  ?peephole:bool ->
+  ?router:[ `Default | `Lookahead ] ->
+  Device.Machine.t ->
+  Ir.Circuit.t ->
+  level:level ->
+  t
+
+(** [to_compiled t] is the generic executable view shared with the
+    baseline compilers and consumed by the simulator runner. *)
+val to_compiled : t -> Compiled.t
+
+(** [estimated_success_probability machine calibration c] multiplies the
+    per-gate success probabilities of a hardware-level, software-visible
+    circuit: 2Q gates and readout use calibrated errors, 1Q pulses use the
+    qubit's 1Q error, virtual-Z gates are free. *)
+val estimated_success_probability :
+  Device.Machine.t -> Device.Calibration.t -> Ir.Circuit.t -> float

@@ -1,0 +1,73 @@
+module Topology = Device.Topology
+
+type result = {
+  circuit : Ir.Circuit.t;
+  final_placement : int array;
+  swap_count : int;
+}
+
+let check_placement n_hardware placement =
+  let seen = Array.make n_hardware false in
+  Array.iter
+    (fun h ->
+      if h < 0 || h >= n_hardware then invalid_arg "Router: placement out of range";
+      if seen.(h) then invalid_arg "Router: placement not injective";
+      seen.(h) <- true)
+    placement
+
+let route reliability topology ~placement (c : Ir.Circuit.t) =
+  let n_hardware = Topology.n_qubits topology in
+  check_placement n_hardware placement;
+  let cur = Array.copy placement in
+  (* occupant.(h) = program qubit currently held by hardware qubit h. *)
+  let occupant = Array.make n_hardware (-1) in
+  Array.iteri (fun p h -> occupant.(h) <- p) cur;
+  let out = ref [] in
+  let swaps = ref 0 in
+  let emit g = out := g :: !out in
+  let apply_swap u v =
+    emit (Ir.Gate.Two (Ir.Gate.Swap, u, v));
+    incr swaps;
+    let pu = occupant.(u) and pv = occupant.(v) in
+    occupant.(u) <- pv;
+    occupant.(v) <- pu;
+    if pv >= 0 then cur.(pv) <- u;
+    if pu >= 0 then cur.(pu) <- v
+  in
+  let route_two kind a b =
+    if Topology.coupled topology cur.(a) cur.(b) then
+      emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
+    else begin
+      let path = Reliability.swap_path reliability cur.(a) cur.(b) in
+      (* Swap the control's qubit along the path, but stop as soon as the
+         two program qubits become adjacent (the path may run through the
+         target's own location). *)
+      let rec step = function
+        | u :: v :: rest ->
+          if Topology.coupled topology cur.(a) cur.(b) then ()
+          else begin
+            ignore u;
+            apply_swap cur.(a) v;
+            step (v :: rest)
+          end
+        | [ _ ] | [] -> ()
+      in
+      step path;
+      if not (Topology.coupled topology cur.(a) cur.(b)) then
+        invalid_arg "Router: swap path failed to co-locate operands";
+      emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
+    end
+  in
+  List.iter
+    (fun g ->
+      match (g : Ir.Gate.t) with
+      | One (k, p) -> emit (Ir.Gate.One (k, cur.(p)))
+      | Measure p -> emit (Ir.Gate.Measure cur.(p))
+      | Two (kind, a, b) -> route_two kind a b
+      | Ccx _ | Cswap _ -> invalid_arg "Router: circuit not flattened")
+    c.Ir.Circuit.gates;
+  {
+    circuit = Ir.Circuit.create n_hardware (List.rev !out);
+    final_placement = cur;
+    swap_count = !swaps;
+  }

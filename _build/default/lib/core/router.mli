@@ -1,0 +1,22 @@
+(** Gate and communication scheduling (Section 4.4).
+
+    Gates are consumed in the IR's (topologically sorted) program order.
+    When a 2Q gate's operands are mapped to uncoupled hardware qubits, the
+    router inserts SWAPs along the most reliable path recorded in the
+    reliability matrix, updates the live program-to-hardware mapping, and
+    processes the next gate under the new mapping. On fully-connected
+    machines (UMDTI) this pass inserts nothing. *)
+
+type result = {
+  circuit : Ir.Circuit.t;
+      (** hardware-qubit circuit; 2Q gates only on coupled pairs, SWAPs
+          kept explicit for later expansion *)
+  final_placement : int array;  (** program qubit -> hardware qubit at exit *)
+  swap_count : int;
+}
+
+(** [route reliability topology ~placement c] routes the flattened program
+    circuit [c] (1Q + CNOT + measure over program qubits) onto hardware.
+    [placement] must be injective and in range. *)
+val route :
+  Reliability.t -> Device.Topology.t -> placement:int array -> Ir.Circuit.t -> result

@@ -1,0 +1,142 @@
+module Topology = Device.Topology
+
+(* Future 2Q program pairs after position [i], as (a, b) program qubits. *)
+let upcoming_pairs gates =
+  let arr = Array.of_list gates in
+  let n = Array.length arr in
+  let next = Array.make (n + 1) [] in
+  for i = n - 1 downto 0 do
+    next.(i) <-
+      (match arr.(i) with
+      | Ir.Gate.Two (_, a, b) -> (a, b) :: next.(i + 1)
+      | _ -> next.(i + 1))
+  done;
+  next
+
+let route ?(lookahead = 4) reliability topology ~placement (c : Ir.Circuit.t) =
+  let n_hardware = Topology.n_qubits topology in
+  let cur = Array.copy placement in
+  let occupant = Array.make n_hardware (-1) in
+  Array.iteri (fun p h -> occupant.(h) <- p) cur;
+  let out = ref [] in
+  let swaps = ref 0 in
+  let emit g = out := g :: !out in
+  let apply_swap u v =
+    emit (Ir.Gate.Two (Ir.Gate.Swap, u, v));
+    incr swaps;
+    let pu = occupant.(u) and pv = occupant.(v) in
+    occupant.(u) <- pv;
+    occupant.(v) <- pu;
+    if pv >= 0 then cur.(pv) <- u;
+    if pu >= 0 then cur.(pu) <- v
+  in
+  let gates = c.Ir.Circuit.gates in
+  let future = upcoming_pairs gates in
+  (* Mapping after swapping along [path]: the walker's qubit advances and
+     everything on the path shifts one step back. *)
+  let simulate_mapping path =
+    let sim = Array.copy cur in
+    let rec walk = function
+      | u :: v :: rest ->
+        Array.iteri
+          (fun p h -> if h = u then sim.(p) <- v else if h = v then sim.(p) <- u)
+          (Array.copy sim);
+        walk (v :: rest)
+      | [ _ ] | [] -> ()
+    in
+    walk path;
+    sim
+  in
+  let future_factor sim pairs =
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    List.fold_left
+      (fun acc (a, b) ->
+        let s = Reliability.score reliability sim.(a) sim.(b) in
+        acc *. Float.max s 1e-6)
+      1.0
+      (take lookahead pairs)
+  in
+  let route_two i kind a b =
+    if Topology.coupled topology cur.(a) cur.(b) then
+      emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
+    else begin
+      let ha = cur.(a) and hb = cur.(b) in
+      (* Candidates: move a to a neighbour of b's position, or b to a
+         neighbour of a's position, along max-product paths. *)
+      let candidates =
+        List.filter_map
+          (fun t' ->
+            if t' = hb then None
+            else
+              match Reliability.path_between reliability ha t' with
+              | path ->
+                let gate_rel =
+                  Reliability.swap_reliability reliability ha t'
+                  *. Reliability.edge_reliability reliability t' hb
+                in
+                Some (`Move_a, path, gate_rel)
+              | exception Not_found -> None)
+          (Topology.neighbors topology hb)
+        @ List.filter_map
+            (fun s' ->
+              if s' = ha then None
+              else
+                match Reliability.path_between reliability hb s' with
+                | path ->
+                  let gate_rel =
+                    Reliability.swap_reliability reliability hb s'
+                    *. Reliability.edge_reliability reliability ha s'
+                  in
+                  Some (`Move_b, path, gate_rel)
+                | exception Not_found -> None)
+            (Topology.neighbors topology ha)
+      in
+      if candidates = [] then invalid_arg "Router_lookahead: operands unreachable";
+      let scored =
+        List.map
+          (fun (who, path, gate_rel) ->
+            let sim = simulate_mapping path in
+            (gate_rel *. future_factor sim future.(i + 1), who, path))
+          candidates
+      in
+      let _, _, best_path =
+        List.fold_left
+          (fun ((bs, _, _) as best) ((s, _, _) as cand) ->
+            if s > bs then cand else best)
+          (List.hd scored) (List.tl scored)
+      in
+      (* Walk the mover along the chosen path, stopping early if the two
+         program qubits become adjacent. *)
+      let mover = if List.hd best_path = cur.(a) then a else b in
+      let rec step = function
+        | _ :: v :: rest ->
+          if Topology.coupled topology cur.(a) cur.(b) then ()
+          else begin
+            apply_swap cur.(mover) v;
+            step (v :: rest)
+          end
+        | [ _ ] | [] -> ()
+      in
+      step best_path;
+      if not (Topology.coupled topology cur.(a) cur.(b)) then
+        invalid_arg "Router_lookahead: path failed to co-locate operands";
+      emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
+    end
+  in
+  List.iteri
+    (fun i g ->
+      match (g : Ir.Gate.t) with
+      | One (k, p) -> emit (Ir.Gate.One (k, cur.(p)))
+      | Measure p -> emit (Ir.Gate.Measure cur.(p))
+      | Two (kind, a, b) -> route_two i kind a b
+      | Ccx _ | Cswap _ -> invalid_arg "Router_lookahead: circuit not flattened")
+    gates;
+  {
+    Router.circuit = Ir.Circuit.create n_hardware (List.rev !out);
+    final_placement = cur;
+    swap_count = !swaps;
+  }

@@ -1,0 +1,23 @@
+(** Lookahead routing (an extension of Section 4.4's scheduler).
+
+    The default router commits, for each 2Q gate in isolation, to the
+    reliability-optimal swap path moving the *control* toward the target.
+    This variant considers more candidates — moving either operand toward
+    any neighbour of the other along max-product paths — and scores each
+    by the immediate gate's end-to-end reliability multiplied by the
+    reliability the next [lookahead] upcoming 2Q gates would see under the
+    post-swap mapping. Picking a marginally worse path now can leave
+    frequently-interacting qubits better placed for what follows.
+
+    Compared against the default router by the [lookahead] ablation
+    experiment; produces the same interface as {!Router}. *)
+
+(** [route ?lookahead reliability topology ~placement c] (default
+    [lookahead] = 4 upcoming 2Q gates). *)
+val route :
+  ?lookahead:int ->
+  Reliability.t ->
+  Device.Topology.t ->
+  placement:int array ->
+  Ir.Circuit.t ->
+  Router.result

@@ -1,0 +1,103 @@
+module Q = Mathkit.Quaternion
+module Gateset = Device.Gateset
+open Ir.Gate
+
+let half_pi = Float.pi /. 2.0
+let quarter_pi = Float.pi /. 4.0
+
+let expand_swaps ?basis (c : Ir.Circuit.t) =
+  let rewrite g =
+    match g with
+    | Two (Swap, a, b) -> (
+      match basis with
+      | Some Gateset.Rigetti_parametric_visible ->
+        (* The parametric XY gate turns SWAP into two interactions
+           (Section 6.4's unexposed native operations). *)
+        Ir.Decompose.swap_via_iswap a b
+      | _ -> [ Two (Cnot, a, b); Two (Cnot, b, a); Two (Cnot, a, b) ])
+    | other -> [ other ]
+  in
+  Ir.Circuit.create c.Ir.Circuit.n_qubits (List.concat_map rewrite c.Ir.Circuit.gates)
+
+let cnot basis a b =
+  match (basis : Gateset.basis) with
+  | Ibm_visible -> [ Two (Cnot, a, b) ]
+  | Rigetti_visible | Rigetti_parametric_visible ->
+    (* Rz(pi/2).Rx(pi/2).Rz(pi/2) is a Hadamard up to phase, so this is
+       (I x H) CZ (I x H) in the paper's published gate order. *)
+    [
+      One (Rz half_pi, b); One (Rx half_pi, b); One (Rz half_pi, b);
+      Two (Cz, a, b);
+      One (Rz half_pi, b); One (Rx half_pi, b); One (Rz half_pi, b);
+    ]
+  | Umd_visible ->
+    (* Maslov's ion-trap CNOT from one Ising XX(pi/4) interaction. *)
+    [
+      One (Ry half_pi, a);
+      Two (Xx quarter_pi, a, b);
+      One (Rx (-.half_pi), a);
+      One (Rx (-.half_pi), b);
+      One (Ry (-.half_pi), a);
+    ]
+
+let two_q_to_visible basis (c : Ir.Circuit.t) =
+  let rewrite g =
+    match g with
+    | Two (Cnot, a, b) -> cnot basis a b
+    | Two (Swap, _, _) ->
+      invalid_arg "Translate.two_q_to_visible: expand SWAPs first"
+    | Two (((Cz | Xx _ | Iswap) as kind), _, _) ->
+      (* Already-visible interactions pass through (parametric SWAP
+         expansion emits CZ and iSWAP directly). *)
+      if Gateset.two_q_visible basis kind then [ g ]
+      else invalid_arg "Translate.two_q_to_visible: non-visible 2Q gate"
+    | Ccx _ | Cswap _ -> invalid_arg "Translate.two_q_to_visible: not flattened"
+    | (One _ | Measure _) as other -> [ other ]
+  in
+  Ir.Circuit.create c.Ir.Circuit.n_qubits (List.concat_map rewrite c.Ir.Circuit.gates)
+
+let norm_angle a =
+  (* Fold into (-pi, pi] to keep emitted angles tidy. *)
+  let two_pi = 2.0 *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+let is_zero_angle a = Float.abs (norm_angle a) <= 1e-9
+
+let rz_if q angle = if is_zero_angle angle then [] else [ One (Rz (norm_angle angle), q) ]
+
+let u1_if q angle = if is_zero_angle angle then [] else [ One (U1 (norm_angle angle), q) ]
+
+let emit_rotation basis q rot =
+  if Q.is_identity ~eps:1e-9 rot then []
+  else begin
+    let alpha, beta, gamma = Q.to_zyz rot in
+    match (basis : Gateset.basis) with
+    | Ibm_visible ->
+      if Float.abs beta <= 1e-9 then u1_if q (alpha +. gamma)
+      else if Float.abs (beta -. half_pi) <= 1e-9 then
+        [ One (U2 (norm_angle alpha, norm_angle gamma), q) ]
+      else [ One (U3 (beta, norm_angle alpha, norm_angle gamma), q) ]
+    | Rigetti_visible | Rigetti_parametric_visible ->
+      if Float.abs beta <= 1e-9 then rz_if q (alpha +. gamma)
+      else if Float.abs (beta -. half_pi) <= 1e-9 then
+        (* Rz(a).Ry(pi/2).Rz(g) = Rz(a + pi/2).Rx(pi/2).Rz(g - pi/2):
+           a single physical pulse. *)
+        rz_if q (gamma -. half_pi)
+        @ [ One (Rx half_pi, q) ]
+        @ rz_if q (alpha +. half_pi)
+      else
+        (* General case, two pulses:
+           Rz(a).Ry(b).Rz(g) = Rz(a).Rx(pi/2).Rz(-b).Rx(-pi/2).Rz(g). *)
+        rz_if q gamma
+        @ [ One (Rx (-.half_pi), q) ]
+        @ rz_if q (-.beta)
+        @ [ One (Rx half_pi, q) ]
+        @ rz_if q alpha
+    | Umd_visible ->
+      if Float.abs beta <= 1e-9 then rz_if q (alpha +. gamma)
+      else
+        (* Rz(a).Ry(b).Rz(g) = Rz(a + g) . Rxy(b, pi/2 - g):
+           one pulse about an axis in the XY plane, plus a virtual Z. *)
+        One (Rxy (beta, norm_angle (half_pi -. gamma)), q) :: rz_if q (alpha +. gamma)
+  end

@@ -1,0 +1,34 @@
+(** Gate implementation and code generation toward vendor gates
+    (Section 4.5).
+
+    Rewrites hardware circuits so every 2Q gate is software-visible on the
+    target interface:
+    - IBM: CNOT is visible as-is;
+    - Rigetti: CNOT A,B := Rz(pi/2) B; Rx(pi/2) B; Rz(pi/2) B; CZ A,B;
+      Rz(pi/2) B; Rx(pi/2) B; Rz(pi/2) B (the paper's exact sequence);
+    - UMD: CNOT via one XX(pi/4) Ising interaction plus 1Q rotations.
+
+    The surrounding 1Q gates are emitted in IR terms; {!Oneq_opt} then
+    turns them into the visible 1Q basis (merged or gate-by-gate). *)
+
+(** [expand_swaps ?basis c] rewrites every explicit SWAP: 3 CNOTs by
+    default; one CZ + one iSWAP when [basis] is the Rigetti parametric
+    interface (Section 6.4's unexposed native operations). *)
+val expand_swaps : ?basis:Device.Gateset.basis -> Ir.Circuit.t -> Ir.Circuit.t
+
+(** [cnot basis a b] is the software-visible implementation of CNOT a,b
+    (exactly unitary-equivalent; checked in tests). *)
+val cnot : Device.Gateset.basis -> int -> int -> Ir.Gate.t list
+
+(** [two_q_to_visible basis c] rewrites every CNOT of [c] through
+    {!cnot}. The circuit must contain no SWAP (expand first) and no 2Q
+    gate other than CNOT. *)
+val two_q_to_visible : Device.Gateset.basis -> Ir.Circuit.t -> Ir.Circuit.t
+
+(** [emit_rotation basis q rot] emits a software-visible 1Q sequence for
+    the rotation [rot] on qubit [q], maximizing error-free Z rotations:
+    - IBM: U1 / U2 / U3 (0, 1 or 2 physical pulses);
+    - Rigetti: Rz-sandwiched Rx(+-pi/2) pulses (0, 1 or 2 pulses);
+    - UMD: a single Rxy pulse plus a virtual Rz (0 or 1 pulse).
+    Identity rotations produce []. *)
+val emit_rotation : Device.Gateset.basis -> int -> Mathkit.Quaternion.t -> Ir.Gate.t list

@@ -1,0 +1,1 @@
+lib/device/calibration.ml: Array Float List Mathkit Printf Topology

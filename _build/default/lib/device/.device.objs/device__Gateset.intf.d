@@ -1,0 +1,1 @@
+lib/device/gateset.mli: Ir

@@ -1,0 +1,1 @@
+lib/device/json.ml: Buffer Float List Printf String

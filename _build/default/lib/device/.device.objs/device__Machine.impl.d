@@ -1,0 +1,1 @@
+lib/device/machine.ml: Array Calibration Float Format Gateset Ir List Topology

@@ -1,0 +1,1 @@
+lib/device/machine.mli: Calibration Format Gateset Ir Topology

@@ -1,0 +1,1 @@
+lib/device/machine_io.ml: Calibration Fun Gateset Json List Machine Printf Topology

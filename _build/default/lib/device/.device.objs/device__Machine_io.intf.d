@@ -1,0 +1,1 @@
+lib/device/machine_io.mli: Json Machine

@@ -1,0 +1,1 @@
+lib/device/machines.ml: Array Calibration Gateset List Machine Printf String Topology

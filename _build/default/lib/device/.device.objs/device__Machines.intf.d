@@ -1,0 +1,1 @@
+lib/device/machines.mli: Calibration Machine

@@ -1,0 +1,101 @@
+type vendor = Ibm | Rigetti | Umd
+
+type basis =
+  | Ibm_visible
+  | Rigetti_visible
+  | Rigetti_parametric_visible
+  | Umd_visible
+
+let vendor_of_basis = function
+  | Ibm_visible -> Ibm
+  | Rigetti_visible | Rigetti_parametric_visible -> Rigetti
+  | Umd_visible -> Umd
+
+let vendor_name = function Ibm -> "IBM" | Rigetti -> "Rigetti" | Umd -> "UMD"
+
+let basis_name = function
+  | Ibm_visible -> "IBM (U1/U2/U3 + CNOT)"
+  | Rigetti_visible -> "Rigetti (Rx(+-pi/2)/Rz + CZ)"
+  | Rigetti_parametric_visible -> "Rigetti parametric (Rx(+-pi/2)/Rz + CZ + iSWAP)"
+  | Umd_visible -> "UMD (Rxy/Rz + XX)"
+
+let native_description = function
+  | Ibm_visible -> "1Q: Rx(pi/2), Rz(lambda); 2Q: CR (cross resonance)"
+  | Rigetti_visible -> "1Q: Rx(+-pi/2), Rz(lambda); 2Q: CZ (controlled Z)"
+  | Rigetti_parametric_visible ->
+    "1Q: Rx(+-pi/2), Rz(lambda); 2Q: CZ, parametric XY (iSWAP)"
+  | Umd_visible -> "1Q: Rxy(theta,phi), Rz(lambda); 2Q: XX(chi) (Ising)"
+
+let visible_description = function
+  | Ibm_visible -> "1Q: U1(l), U2(p,l), U3(t,p,l); 2Q: CNOT (from CR + 1Q)"
+  | Rigetti_visible -> "1Q: Rx(+-pi/2), Rz(lambda); 2Q: CZ"
+  | Rigetti_parametric_visible -> "1Q: Rx(+-pi/2), Rz(lambda); 2Q: CZ, iSWAP"
+  | Umd_visible -> "1Q: Rxy(theta,phi), Rz(lambda); 2Q: XX(chi)"
+
+let half_pi = Float.pi /. 2.0
+
+let is_half_pi theta =
+  Float.abs (Float.abs theta -. half_pi) <= 1e-9
+
+let is_quarter_pi chi = Float.abs (Float.abs chi -. (Float.pi /. 4.0)) <= 1e-9
+
+let one_q_visible basis (g : Ir.Gate.one_q) =
+  match (basis, g) with
+  | Ibm_visible, (U1 _ | U2 _ | U3 _) -> true
+  | Ibm_visible, _ -> false
+  | (Rigetti_visible | Rigetti_parametric_visible), Rz _ -> true
+  | (Rigetti_visible | Rigetti_parametric_visible), Rx theta -> is_half_pi theta
+  | (Rigetti_visible | Rigetti_parametric_visible), _ -> false
+  | Umd_visible, (Rz _ | Rxy _) -> true
+  | Umd_visible, _ -> false
+
+let two_q_visible basis (g : Ir.Gate.two_q) =
+  match (basis, g) with
+  | Ibm_visible, Cnot -> true
+  | (Rigetti_visible | Rigetti_parametric_visible), Cz -> true
+  | Rigetti_parametric_visible, Iswap -> true
+  | Umd_visible, Xx chi -> is_quarter_pi chi
+  | (Ibm_visible | Rigetti_visible | Rigetti_parametric_visible | Umd_visible), _ ->
+    false
+
+let gate_visible basis (g : Ir.Gate.t) =
+  match g with
+  | One (k, _) -> one_q_visible basis k
+  | Two (k, _, _) -> two_q_visible basis k
+  | Measure _ -> true
+  | Ccx _ | Cswap _ -> false
+
+let circuit_visible basis (c : Ir.Circuit.t) =
+  List.for_all (gate_visible basis) c.Ir.Circuit.gates
+
+let is_error_free basis (g : Ir.Gate.one_q) =
+  match (basis, g) with
+  | Ibm_visible, U1 _ -> true
+  | (Rigetti_visible | Rigetti_parametric_visible | Umd_visible), Rz _ -> true
+  | (Ibm_visible | Rigetti_visible | Rigetti_parametric_visible | Umd_visible), _ ->
+    false
+
+let native_pulse_count basis (g : Ir.Gate.one_q) =
+  if not (one_q_visible basis g) then
+    invalid_arg "Gateset.native_pulse_count: gate not software-visible";
+  match (basis, g) with
+  | Ibm_visible, U1 _ -> 0
+  | Ibm_visible, U2 _ -> 1
+  | Ibm_visible, U3 _ -> 2
+  | (Rigetti_visible | Rigetti_parametric_visible), Rz _ -> 0
+  | (Rigetti_visible | Rigetti_parametric_visible), Rx _ -> 1
+  | Umd_visible, Rz _ -> 0
+  | Umd_visible, Rxy _ -> 1
+  | (Ibm_visible | Rigetti_visible | Rigetti_parametric_visible | Umd_visible), _ ->
+    (* unreachable: visibility already checked *)
+    assert false
+
+let circuit_pulse_count basis (c : Ir.Circuit.t) =
+  List.fold_left
+    (fun acc g ->
+      match (g : Ir.Gate.t) with
+      | One (k, _) -> acc + native_pulse_count basis k
+      | Two _ | Measure _ -> acc
+      | Ccx _ | Cswap _ ->
+        invalid_arg "Gateset.circuit_pulse_count: undecomposed multi-qubit gate")
+    0 c.Ir.Circuit.gates

@@ -1,0 +1,68 @@
+(** Vendor gate sets: native operations and the software-visible interface
+    (Figure 2 of the paper).
+
+    The three vendors expose different one- and two-qubit bases:
+    - IBM: software-visible U1/U2/U3 + directed CNOT (native: Rx(pi/2), Rz,
+      cross-resonance);
+    - Rigetti: Rx(+-pi/2), Rz(lambda) + CZ (native = software-visible);
+    - UMD trapped ion: arbitrary Rxy(theta,phi), Rz + Ising XX(chi)
+      (native = software-visible).
+
+    Translation into these bases lives in the compiler ([Triq.Translate]);
+    this module is the declarative description the compiler takes as
+    input, plus legality checks and pulse accounting. *)
+
+type vendor = Ibm | Rigetti | Umd
+
+(** Software-visible basis, named after the vendor interface it models.
+    [Rigetti_parametric_visible] additionally exposes the
+    parametrically-activated iSWAP (XY) interaction of newer Rigetti
+    devices — the "more powerful native operations [that] were not
+    software-visible" in the paper's Aspen experiments (Section 6.4). *)
+type basis =
+  | Ibm_visible
+  | Rigetti_visible
+  | Rigetti_parametric_visible
+  | Umd_visible
+
+val vendor_of_basis : basis -> vendor
+val basis_name : basis -> string
+val vendor_name : vendor -> string
+
+(** [native_description b] is the human-readable native gate list
+    (Figure 2, middle row). *)
+val native_description : basis -> string
+
+(** [visible_description b] is the software-visible gate list (Figure 2,
+    bottom row). *)
+val visible_description : basis -> string
+
+(** [one_q_visible b g] is true when the one-qubit gate can be emitted
+    as-is for this interface. *)
+val one_q_visible : basis -> Ir.Gate.one_q -> bool
+
+(** [two_q_visible b g] is true when the two-qubit gate can be emitted
+    as-is for this interface. *)
+val two_q_visible : basis -> Ir.Gate.two_q -> bool
+
+(** [gate_visible b g] checks a whole IR gate (measures are always
+    visible; Ccx/Cswap never are). *)
+val gate_visible : basis -> Ir.Gate.t -> bool
+
+(** [circuit_visible b c] is true when every gate of [c] is visible. *)
+val circuit_visible : basis -> Ir.Circuit.t -> bool
+
+(** [is_error_free b g] is true for "virtual" gates executed by classical
+    frame tracking at zero error — Z-axis rotations on all three vendors. *)
+val is_error_free : basis -> Ir.Gate.one_q -> bool
+
+(** [native_pulse_count b g] is the number of physical (error-prone) X/Y
+    pulses a visible one-qubit gate costs: 0 for virtual-Z gates, 1 for a
+    single rotation pulse, 2 for IBM's U3 (two Rx(pi/2) pulses). Raises
+    [Invalid_argument] if [g] is not visible in [b]. *)
+val native_pulse_count : basis -> Ir.Gate.one_q -> int
+
+(** [circuit_pulse_count b c] sums [native_pulse_count] over the one-qubit
+    gates of [c] — the "native 1Q operations (actual X and Y pulses)"
+    metric of Figure 8. *)
+val circuit_pulse_count : basis -> Ir.Circuit.t -> int

@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect_char st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> error st (Printf.sprintf "expected %C, found %C" c x)
+  | None -> error st (Printf.sprintf "expected %C, found end of input" c)
+
+let parse_literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else error st (Printf.sprintf "bad literal (expected %s)" word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+      | Some c -> error st (Printf.sprintf "unsupported escape \\%c" c)
+      | None -> error st "unterminated escape")
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let is_number_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_number_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Number f
+  | None -> error st (Printf.sprintf "bad number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' ->
+    advance st;
+    String (parse_string_body st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Array []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> error st "expected ',' or ']'"
+      in
+      Array (elements [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Object []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        expect_char st '"';
+        let key = parse_string_body st in
+        skip_ws st;
+        expect_char st ':';
+        let v = parse_value st in
+        (key, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | _ -> error st "expected ',' or '}'"
+      in
+      Object (fields [])
+    end
+  | Some c when is_number_char c -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some c -> error st (Printf.sprintf "trailing input starting with %C" c));
+  v
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let format_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    (* Shortest representation that parses back to the same float. *)
+    let rec shortest p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else begin
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else shortest (p + 1)
+      end
+    in
+    shortest 12
+  end
+
+let to_string ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let pad level =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (level * indent) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number f -> Buffer.add_string buf (format_number f)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array elements ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          go (level + 1) v)
+        elements;
+      pad level;
+      Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          go (level + 1) v)
+        fields;
+      pad level;
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let member name = function
+  | Object fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Json.member: missing %S" name))
+  | _ -> invalid_arg (Printf.sprintf "Json.member: %S on a non-object" name)
+
+let member_opt name = function
+  | Object fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_float = function
+  | Number f -> f
+  | _ -> invalid_arg "Json.to_float: not a number"
+
+let to_int v =
+  let f = to_float v in
+  if Float.is_integer f then int_of_float f
+  else invalid_arg "Json.to_int: not an integer"
+
+let to_bool = function Bool b -> b | _ -> invalid_arg "Json.to_bool: not a boolean"
+let to_str = function String s -> s | _ -> invalid_arg "Json.to_str: not a string"
+let to_list = function Array l -> l | _ -> invalid_arg "Json.to_list: not an array"

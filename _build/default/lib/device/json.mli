@@ -1,0 +1,31 @@
+(** Minimal self-contained JSON reader/writer (no external dependency),
+    sufficient for machine-description files: null, booleans, numbers,
+    strings (with the common escapes), arrays and objects. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string * int
+(** [Parse_error (message, position)] *)
+
+val parse : string -> t
+
+(** [to_string ?indent t] serializes; [indent] (default 2) pretty-prints,
+    0 emits compact single-line JSON. *)
+val to_string : ?indent:int -> t -> string
+
+(** Accessors: raise [Invalid_argument] with the member name on type or
+    presence mismatch. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_float : t -> float
+val to_int : t -> int
+val to_bool : t -> bool
+val to_str : t -> string
+val to_list : t -> t list

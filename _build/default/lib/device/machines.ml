@@ -1,0 +1,196 @@
+let pct x = x /. 100.0
+
+(* Drift magnitudes: the paper reports up to 9x variation across qubits and
+   calibration cycles for superconducting 2Q/readout errors, and only 1-3%
+   absolute fluctuation for the trapped-ion machine. *)
+let superconducting_profile ~one_q ~two_q ~ro ~coherence =
+  {
+    Calibration.avg_one_q_err = pct one_q;
+    avg_two_q_err = pct two_q;
+    avg_readout_err = pct ro;
+    coherence_us = coherence;
+    one_q_time_us = 0.05;
+    two_q_time_us = 0.3;
+    spatial_sigma = 0.45;
+    temporal_sigma = 0.3;
+    two_q_scale = None;
+  }
+
+let ion_profile ~one_q ~two_q ~ro ~coherence =
+  {
+    Calibration.avg_one_q_err = pct one_q;
+    avg_two_q_err = pct two_q;
+    avg_readout_err = pct ro;
+    coherence_us = coherence;
+    one_q_time_us = 20.0;
+    two_q_time_us = 250.0;
+    (* The paper reports 2Q errors fluctuating between roughly 1% and 3%
+       across ions and days (Sec 3.3): a ~3x spatial range. *)
+    spatial_sigma = 0.35;
+    temporal_sigma = 0.18;
+    two_q_scale = None;
+  }
+
+(* Published coupling maps. IBM edges are directed (control, target). *)
+
+let tenerife_topology =
+  Topology.create 5 [ (1, 0); (2, 0); (2, 1); (3, 2); (3, 4); (4, 2) ] ~directed:true
+
+let melbourne_topology =
+  Topology.create 14
+    [
+      (1, 0); (1, 2); (2, 3); (4, 3); (4, 10); (5, 4); (5, 6); (5, 9); (6, 8);
+      (7, 8); (9, 8); (9, 10); (11, 3); (11, 10); (11, 12); (12, 2); (13, 1);
+      (13, 12);
+    ]
+    ~directed:true
+
+let rueschlikon_topology =
+  Topology.create 16
+    [
+      (1, 0); (1, 2); (2, 3); (3, 4); (3, 14); (5, 4); (6, 5); (6, 7); (6, 11);
+      (7, 10); (8, 7); (9, 8); (9, 10); (11, 10); (12, 5); (12, 11); (12, 13);
+      (13, 4); (13, 14); (15, 0); (15, 2); (15, 14);
+    ]
+    ~directed:true
+
+(* Two octagons with two inter-ring couplers: 8 + 8 + 2 = 18 edges. *)
+let aspen_topology =
+  let octagon base = List.init 8 (fun i -> (base + i, base + ((i + 1) mod 8))) in
+  Topology.create 16 (octagon 0 @ octagon 8 @ [ (1, 14); (2, 13) ]) ~directed:false
+
+let ibmq5 =
+  Machine.create ~name:"IBMQ5" ~basis:Gateset.Ibm_visible ~topology:tenerife_topology
+    ~profile:(superconducting_profile ~one_q:0.2 ~two_q:4.76 ~ro:6.21 ~coherence:40.0)
+    ~seed:501
+
+let ibmq14 =
+  Machine.create ~name:"IBMQ14" ~basis:Gateset.Ibm_visible ~topology:melbourne_topology
+    ~profile:(superconducting_profile ~one_q:1.19 ~two_q:7.95 ~ro:9.09 ~coherence:30.0)
+    ~seed:1401
+
+let ibmq16 =
+  Machine.create ~name:"IBMQ16" ~basis:Gateset.Ibm_visible
+    ~topology:rueschlikon_topology
+    ~profile:(superconducting_profile ~one_q:0.22 ~two_q:7.14 ~ro:4.15 ~coherence:40.0)
+    ~seed:1601
+
+let agave =
+  Machine.create ~name:"Agave" ~basis:Gateset.Rigetti_visible ~topology:(Topology.line 4)
+    ~profile:(superconducting_profile ~one_q:3.68 ~two_q:10.8 ~ro:16.37 ~coherence:15.0)
+    ~seed:401
+
+let aspen1 =
+  Machine.create ~name:"Aspen1" ~basis:Gateset.Rigetti_visible ~topology:aspen_topology
+    ~profile:(superconducting_profile ~one_q:3.43 ~two_q:8.92 ~ro:5.56 ~coherence:20.0)
+    ~seed:1611
+
+let aspen3 =
+  Machine.create ~name:"Aspen3" ~basis:Gateset.Rigetti_visible ~topology:aspen_topology
+    ~profile:(superconducting_profile ~one_q:3.79 ~two_q:5.37 ~ro:6.65 ~coherence:20.0)
+    ~seed:1613
+
+let umdti =
+  Machine.create ~name:"UMDTI" ~basis:Gateset.Umd_visible
+    ~topology:(Topology.fully_connected 5)
+    ~profile:(ion_profile ~one_q:0.2 ~two_q:1.0 ~ro:0.6 ~coherence:1.5e6)
+    ~seed:505
+
+let all = [ ibmq5; ibmq14; ibmq16; agave; aspen1; aspen3; umdti ]
+
+(* Figure 6's worked example: 2x4 grid, explicit 2Q reliabilities. *)
+
+let example_8q_edges =
+  [
+    ((0, 1), 0.9); ((1, 2), 0.8); ((2, 3), 0.9);
+    ((4, 5), 0.9); ((5, 6), 0.8); ((6, 7), 0.9);
+    ((0, 4), 0.9); ((1, 5), 0.9); ((2, 6), 0.7); ((3, 7), 0.8);
+  ]
+
+let example_8q =
+  Machine.create ~name:"Example8Q" ~basis:Gateset.Ibm_visible
+    ~topology:(Topology.create 8 (List.map fst example_8q_edges) ~directed:false)
+    ~profile:(superconducting_profile ~one_q:0.2 ~two_q:15.0 ~ro:5.0 ~coherence:40.0)
+    ~seed:801
+
+let example_8q_calibration =
+  Calibration.explicit ~day:0
+    ~one_q:(Array.make 8 0.002)
+    ~two_q:(List.map (fun (pair, rel) -> (pair, 1.0 -. rel)) example_8q_edges)
+    ~readout:(Array.make 8 0.05)
+
+(* Forward-looking larger ion trap (Section 6.3): still fully connected,
+   but gate error grows with the distance between ions in the chain —
+   nearest neighbours at the base rate, the farthest pair at ~3x. *)
+let ion_trap_chain n =
+  if n < 3 then invalid_arg "Machines.ion_trap_chain: need at least 3 ions";
+  let base = ion_profile ~one_q:0.2 ~two_q:1.0 ~ro:0.6 ~coherence:1.5e6 in
+  let scale (a, b) =
+    1.0 +. (2.0 *. float_of_int (abs (a - b) - 1) /. float_of_int (max 1 (n - 2)))
+  in
+  Machine.create
+    ~name:(Printf.sprintf "IonChain%d" n)
+    ~basis:Gateset.Umd_visible
+    ~topology:(Topology.fully_connected n)
+    ~profile:{ base with Calibration.two_q_scale = Some scale }
+    ~seed:(9000 + n)
+
+(* IBMQ20 Tokyo-style device: 4x5 lattice with diagonal couplers (43
+   couplings). The 20-qubit IBM system is the setting of the Tannu &
+   Qureshi variability study the paper compares against in Section 8. *)
+let tokyo_topology =
+  Topology.create 20
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4);
+      (0, 5); (1, 6); (1, 7); (2, 6); (2, 7); (3, 8); (3, 9); (4, 8); (4, 9);
+      (5, 6); (6, 7); (7, 8); (8, 9);
+      (5, 10); (5, 11); (6, 10); (6, 11); (7, 12); (7, 13); (8, 12); (8, 13);
+      (9, 14);
+      (10, 11); (11, 12); (12, 13); (13, 14);
+      (10, 15); (11, 16); (11, 17); (12, 16); (12, 17); (13, 18); (13, 19);
+      (14, 18); (14, 19);
+      (15, 16); (16, 17); (17, 18); (18, 19);
+    ]
+    ~directed:false
+
+let ibmq20 =
+  Machine.create ~name:"IBMQ20" ~basis:Gateset.Ibm_visible ~topology:tokyo_topology
+    ~profile:(superconducting_profile ~one_q:0.15 ~two_q:2.5 ~ro:4.0 ~coherence:80.0)
+    ~seed:2001
+
+(* The full 8-qubit Agave ring (only 4 qubits were available during the
+   paper's study, see Figure 1's caption). *)
+let agave_full =
+  Machine.create ~name:"Agave8" ~basis:Gateset.Rigetti_visible
+    ~topology:(Topology.ring 8)
+    ~profile:(superconducting_profile ~one_q:3.68 ~two_q:10.8 ~ro:16.37 ~coherence:15.0)
+    ~seed:408
+
+(* Section 6.4 what-if: the same Aspen hardware with the parametric XY
+   (iSWAP) interaction exposed to software. *)
+let aspen1_parametric =
+  Machine.create ~name:"Aspen1P" ~basis:Gateset.Rigetti_parametric_visible
+    ~topology:aspen_topology
+    ~profile:(superconducting_profile ~one_q:3.43 ~two_q:8.92 ~ro:5.56 ~coherence:20.0)
+    ~seed:1611
+
+let aspen3_parametric =
+  Machine.create ~name:"Aspen3P" ~basis:Gateset.Rigetti_parametric_visible
+    ~topology:aspen_topology
+    ~profile:(superconducting_profile ~one_q:3.79 ~two_q:5.37 ~ro:6.65 ~coherence:20.0)
+    ~seed:1613
+
+let extended = [ ibmq20; agave_full; aspen1_parametric; aspen3_parametric ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun m -> String.lowercase_ascii m.Machine.name = target)
+    (all @ extended)
+
+let bristlecone rows cols =
+  Machine.create
+    ~name:(Printf.sprintf "Bristlecone%dx%d" rows cols)
+    ~basis:Gateset.Ibm_visible ~topology:(Topology.grid rows cols)
+    ~profile:(superconducting_profile ~one_q:0.3 ~two_q:5.0 ~ro:4.0 ~coherence:40.0)
+    ~seed:(7200 + (rows * 100) + cols)

@@ -1,0 +1,64 @@
+(** The machine inventory of the study (Figure 1) plus auxiliary devices.
+
+    Seven real prototypes: three IBM superconducting machines, three
+    Rigetti superconducting machines, and the UMD trapped-ion machine.
+    Average error rates, coherence times, qubit counts and coupling counts
+    follow Figure 1; topologies follow the published coupling maps. *)
+
+val ibmq5 : Machine.t  (** IBM Q5 Tenerife: 5 qubits, bow-tie, directed *)
+
+val ibmq14 : Machine.t  (** IBM Q14 Melbourne: 14 qubits, 2x7 lattice *)
+
+val ibmq16 : Machine.t  (** IBM Q16 Rueschlikon: 16 qubits, 2x8 lattice *)
+
+val agave : Machine.t  (** Rigetti Agave: 4 available qubits in a line *)
+
+val aspen1 : Machine.t  (** Rigetti Aspen-1: 16 qubits, two octagons *)
+
+val aspen3 : Machine.t  (** Rigetti Aspen-3: same topology, better gates *)
+
+val umdti : Machine.t  (** UMD trapped ion: 5 qubits, fully connected *)
+
+(** All seven study machines in the paper's presentation order. *)
+val all : Machine.t list
+
+(** [find name] looks a machine up by (case-insensitive) name. *)
+val find : string -> Machine.t option
+
+(** The worked example of Figure 6: 8 qubits in a 2x4 grid with fixed 2Q
+    reliabilities; [example_8q_calibration] is its (day 0) snapshot. *)
+val example_8q : Machine.t
+
+val example_8q_calibration : Calibration.t
+
+(** IBMQ20 Tokyo-style lattice (20 qubits, 43 couplings, lower error
+    rates): the 20-qubit IBM system referenced by the Section 8
+    variability comparison. Not part of the seven-machine study
+    ([all]); listed under [extended]. *)
+val ibmq20 : Machine.t
+
+(** The full 8-qubit Agave ring (the study could only use 4 qubits). *)
+val agave_full : Machine.t
+
+(** The Aspen machines with the parametric iSWAP interaction made
+    software-visible — Section 6.4's "exposing them to the compiler would
+    enable higher success rates" hypothesis, testable here. Identical
+    hardware (topology, profile, calibration seed) to [aspen1]/[aspen3]. *)
+val aspen1_parametric : Machine.t
+
+val aspen3_parametric : Machine.t
+
+(** Machines beyond the seven of the study, resolvable through [find]. *)
+val extended : Machine.t list
+
+(** [ion_trap_chain n] is a forward-looking [n]-ion trapped-ion machine:
+    fully connected like UMDTI, but with 2Q error growing with ion
+    distance (1x at distance 1 up to 3x for the farthest pair), modeling
+    the reduced interaction strength the paper projects for larger traps
+    (Section 6.3). *)
+val ion_trap_chain : int -> Machine.t
+
+(** [bristlecone n_rows n_cols] is a Google-72-qubit-style grid device used
+    for the Section 6.5 scaling study, with IBM-like gates and error rates
+    sampled per edge. *)
+val bristlecone : int -> int -> Machine.t

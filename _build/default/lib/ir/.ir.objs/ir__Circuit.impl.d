@@ -1,0 +1,1 @@
+lib/ir/circuit.ml: Format Gate List Printf

@@ -1,0 +1,1 @@
+lib/ir/circuit.mli: Format Gate

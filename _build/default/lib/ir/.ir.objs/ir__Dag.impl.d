@@ -1,0 +1,1 @@
+lib/ir/dag.ml: Array Circuit Gate List

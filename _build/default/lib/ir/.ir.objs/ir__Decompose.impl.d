@@ -1,0 +1,1 @@
+lib/ir/decompose.ml: Circuit Float Gate List

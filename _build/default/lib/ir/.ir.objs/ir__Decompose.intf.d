@@ -1,0 +1,1 @@
+lib/ir/decompose.mli: Circuit Gate

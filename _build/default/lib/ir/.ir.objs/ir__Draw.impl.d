@@ -1,0 +1,1 @@
+lib/ir/draw.ml: Array Buffer Circuit Dag Format Gate List Printf String

@@ -1,0 +1,1 @@
+lib/ir/draw.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/ir/gate.ml: Float Format List Mathkit

@@ -1,0 +1,1 @@
+lib/ir/gate.mli: Format Mathkit

@@ -1,0 +1,1 @@
+lib/ir/matrices.ml: Circuit Float Gate List Mathkit

@@ -1,0 +1,1 @@
+lib/ir/matrices.mli: Circuit Gate Mathkit

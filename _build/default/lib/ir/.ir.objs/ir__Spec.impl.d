@@ -1,0 +1,1 @@
+lib/ir/spec.ml: Float Format List String

@@ -1,0 +1,1 @@
+lib/ir/spec.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/stats.ml: Array Circuit Dag Format Gate Hashtbl List Option

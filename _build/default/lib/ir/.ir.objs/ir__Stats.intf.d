@@ -1,0 +1,1 @@
+lib/ir/stats.mli: Circuit Format Gate

@@ -1,0 +1,68 @@
+type t = {
+  gates : Gate.t array;
+  layer_of : int array;
+  preds : int list array;
+  n_layers : int;
+}
+
+let of_circuit (c : Circuit.t) =
+  let gates = Array.of_list c.Circuit.gates in
+  let n = Array.length gates in
+  let layer_of = Array.make n 0 in
+  let preds = Array.make n [] in
+  (* frontier.(q) = index of the last gate seen on qubit q, or -1. *)
+  let frontier = Array.make c.Circuit.n_qubits (-1) in
+  let n_layers = ref 0 in
+  for i = 0 to n - 1 do
+    let qs = Gate.qubits gates.(i) in
+    let deps = List.filter (fun j -> j >= 0) (List.map (fun q -> frontier.(q)) qs) in
+    let deps = List.sort_uniq compare deps in
+    preds.(i) <- deps;
+    let layer =
+      List.fold_left (fun acc j -> max acc (layer_of.(j) + 1)) 0 deps
+    in
+    layer_of.(i) <- layer;
+    if layer + 1 > !n_layers then n_layers := layer + 1;
+    List.iter (fun q -> frontier.(q) <- i) qs
+  done;
+  { gates; layer_of; preds; n_layers = !n_layers }
+
+let layers t =
+  let buckets = Array.make (max t.n_layers 1) [] in
+  Array.iteri (fun i layer -> buckets.(layer) <- t.gates.(i) :: buckets.(layer)) t.layer_of;
+  if t.n_layers = 0 then []
+  else Array.to_list (Array.map List.rev buckets)
+
+let depth t = t.n_layers
+
+let two_q_depth t =
+  List.length (List.filter (List.exists Gate.is_two_qubit) (layers t))
+
+let predecessors t i =
+  if i < 0 || i >= Array.length t.gates then invalid_arg "Dag.predecessors: index";
+  t.preds.(i)
+
+let critical_path t =
+  let n = Array.length t.gates in
+  if n = 0 then []
+  else begin
+    (* Walk back from a gate on the last layer through predecessors that
+       realize its layer - 1. *)
+    let best = ref 0 in
+    Array.iteri (fun i l -> if l > t.layer_of.(!best) then best := i) t.layer_of;
+    let rec walk i acc =
+      let acc = i :: acc in
+      if t.layer_of.(i) = 0 then acc
+      else begin
+        let pred =
+          List.find (fun j -> t.layer_of.(j) = t.layer_of.(i) - 1) t.preds.(i)
+        in
+        walk pred acc
+      end
+    in
+    walk !best []
+  end
+
+let parallelism t =
+  if t.n_layers = 0 then 0.0
+  else float_of_int (Array.length t.gates) /. float_of_int t.n_layers

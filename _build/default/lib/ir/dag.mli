@@ -1,0 +1,34 @@
+(** Dependency structure of a circuit.
+
+    Two gates conflict iff they share a qubit; the DAG orders conflicting
+    gates by program order. Scheduling consumes gates in topological order
+    (which program order already is); this module exposes the ASAP layering
+    used for depth, parallelism reporting and schedule visualization. *)
+
+type t
+
+(** [of_circuit c] builds the dependency structure. *)
+val of_circuit : Circuit.t -> t
+
+(** [layers t] groups gates into ASAP time-steps: every gate appears in the
+    earliest layer after all gates it depends on. Gates within a layer act
+    on disjoint qubits and can execute in parallel. *)
+val layers : t -> Gate.t list list
+
+(** [depth t] is the number of layers. *)
+val depth : t -> int
+
+(** [two_q_depth t] counts layers containing at least one two-qubit gate. *)
+val two_q_depth : t -> int
+
+(** [predecessors t i] are the indices (into the circuit's gate list) of
+    the immediate dependencies of gate [i]. *)
+val predecessors : t -> int -> int list
+
+(** [parallelism t] is gate count divided by depth — average gates per
+    time-step. *)
+val parallelism : t -> float
+
+(** [critical_path t] is one longest dependency chain, as gate indices in
+    program order (empty for an empty circuit). *)
+val critical_path : t -> int list

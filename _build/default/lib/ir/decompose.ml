@@ -1,0 +1,115 @@
+open Gate
+
+let cnot a b = Two (Cnot, a, b)
+
+let ccx a b t =
+  [
+    One (H, t);
+    cnot b t;
+    One (Tdg, t);
+    cnot a t;
+    One (T, t);
+    cnot b t;
+    One (Tdg, t);
+    cnot a t;
+    One (T, b);
+    One (T, t);
+    One (H, t);
+    cnot a b;
+    One (T, a);
+    One (Tdg, b);
+    cnot a b;
+  ]
+
+let cswap c a b = (cnot b a :: ccx c a b) @ [ cnot b a ]
+
+let swap a b = [ cnot a b; cnot b a; cnot a b ]
+
+let cz a b = [ One (H, b); cnot a b; One (H, b) ]
+
+let peres a b c = ccx a b c @ [ cnot a b ]
+
+let logical_or a b t =
+  [ One (X, a); One (X, b) ] @ ccx a b t @ [ One (X, a); One (X, b); One (X, t) ]
+
+(* XX(chi) = (H(x)H) . CZ-phase construction. Using the identity
+   exp(-i chi XX) = (H(x)H) exp(-i chi ZZ) (H(x)H) and
+   exp(-i chi ZZ) = CNOT . (I(x)Rz(2 chi)) . CNOT. *)
+let xx chi a b =
+  [
+    One (H, a);
+    One (H, b);
+    cnot a b;
+    One (Rz (2.0 *. chi), b);
+    cnot a b;
+    One (H, a);
+    One (H, b);
+  ]
+
+(* iSWAP from the canonical set: iSWAP = (S(x)S).(H(x)I).CNOT_ab.CNOT_ba.(I(x)H)
+   up to global phase (order verified by the unitary tests). *)
+let iswap a b =
+  [ One (S, a); One (S, b); One (H, a); cnot a b; cnot b a; One (H, b) ]
+
+let flatten (c : Circuit.t) =
+  let rewrite g =
+    match g with
+    | One _ | Measure _ | Two (Cnot, _, _) -> [ g ]
+    | Two (Cz, a, b) -> cz a b
+    | Two (Swap, a, b) -> swap a b
+    | Two (Xx chi, a, b) -> xx chi a b
+    | Two (Iswap, a, b) -> iswap a b
+    | Ccx (a, b, t) -> ccx a b t
+    | Cswap (cq, a, b) -> cswap cq a b
+  in
+  Circuit.create c.Circuit.n_qubits (List.concat_map rewrite c.Circuit.gates)
+
+(* SWAP from one iSWAP and one CZ: SWAP = iSWAP . (Sdg (x) Sdg) . CZ
+   (only two 2Q interactions instead of three CNOTs). *)
+let swap_via_iswap a b =
+  [ Two (Cz, a, b); One (Sdg, a); One (Sdg, b); Two (Iswap, a, b) ]
+
+let cu1 lambda a b =
+  [
+    One (Rz (lambda /. 2.0), a);
+    One (Rz (lambda /. 2.0), b);
+    cnot a b;
+    One (Rz (-.lambda /. 2.0), b);
+    cnot a b;
+  ]
+
+let crz theta a b =
+  (* Like cu1 but with no phase on the control: pure conditional Rz. *)
+  [ One (Rz (theta /. 2.0), b); cnot a b; One (Rz (-.theta /. 2.0), b); cnot a b ]
+
+let cry theta a b =
+  [ One (Ry (theta /. 2.0), b); cnot a b; One (Ry (-.theta /. 2.0), b); cnot a b ]
+
+let crx theta a b =
+  (* Conjugate the cry construction into the X basis. *)
+  [ One (Rz (Float.pi /. 2.0), b) ] @ cry theta a b
+  @ [ One (Rz (-.Float.pi /. 2.0), b) ]
+
+let ch a b =
+  (* Controlled-H via V CX V+ with V mapping H's axis to Z: standard
+     construction H = e^{i pi/2} Ry(pi/4)... use S,H,T conjugation. *)
+  [
+    One (S, b); One (H, b); One (T, b);
+    cnot a b;
+    One (Tdg, b); One (H, b); One (Sdg, b);
+  ]
+
+let cy a b = [ One (Sdg, b); cnot a b; One (S, b) ]
+
+let xx_gates = xx
+
+let cu3 theta phi lambda a b =
+  (* qelib1's construction. *)
+  [
+    One (U1 ((lambda +. phi) /. 2.0), a);
+    One (U1 ((lambda -. phi) /. 2.0), b);
+    cnot a b;
+    One (U3 (-.theta /. 2.0, 0.0, -.(phi +. lambda) /. 2.0), b);
+    cnot a b;
+    One (U3 (theta /. 2.0, phi, 0.0), b);
+  ]

@@ -1,0 +1,67 @@
+(** IR-level gate decompositions (the ScaffCC role).
+
+    High-level multi-qubit gates are rewritten into the canonical
+    vendor-independent set {one-qubit gates, CNOT} before mapping. Every
+    rewrite here is exactly unitary-equivalent (up to global phase), which
+    the test suite checks by matrix comparison. *)
+
+(** [ccx a b t] is the standard 6-CNOT, 7-T Toffoli construction. *)
+val ccx : int -> int -> int -> Gate.t list
+
+(** [cswap c a b] is Fredkin via CNOT-conjugated Toffoli. *)
+val cswap : int -> int -> int -> Gate.t list
+
+(** [swap a b] is the 3-CNOT swap (footnote 2 of the paper). *)
+val swap : int -> int -> Gate.t list
+
+(** [cz a b] rewrites CZ as H-conjugated CNOT. *)
+val cz : int -> int -> Gate.t list
+
+(** [peres a b c] is the Peres gate: Toffoli followed by CNOT a,b. *)
+val peres : int -> int -> int -> Gate.t list
+
+(** [logical_or a b t] computes t := a OR b (inputs preserved) using De
+    Morgan conjugation of a Toffoli. *)
+val logical_or : int -> int -> int -> Gate.t list
+
+(** [flatten c] rewrites a circuit so that only [One _], [Two (Cnot, ..)]
+    and [Measure] gates remain — the technology-independent form TriQ-N
+    starts from ([Cz], [Xx], [Swap], [Ccx], [Cswap] are all expanded;
+    [Xx chi] is expanded via its CNOT construction). *)
+val flatten : Circuit.t -> Circuit.t
+
+(** Controlled-gate constructions (the rest of the qelib1 vocabulary),
+    all exactly unitary-equivalent (checked in tests). *)
+
+(** [cu1 lambda a b] is the controlled phase gate. *)
+val cu1 : float -> int -> int -> Gate.t list
+
+(** [crz theta a b] is the controlled Z rotation. *)
+val crz : float -> int -> int -> Gate.t list
+
+(** [cry theta a b] and [crx theta a b] are controlled Y/X rotations. *)
+val cry : float -> int -> int -> Gate.t list
+
+val crx : float -> int -> int -> Gate.t list
+
+(** [ch a b] is the controlled Hadamard. *)
+val ch : int -> int -> Gate.t list
+
+(** [cy a b] is the controlled Y. *)
+val cy : int -> int -> Gate.t list
+
+(** [cu3 theta phi lambda a b] is the controlled generic rotation
+    (qelib1's cu3). *)
+val cu3 : float -> float -> float -> int -> int -> Gate.t list
+
+(** [iswap a b] expresses iSWAP over the canonical {1Q, CNOT} set. *)
+val iswap : int -> int -> Gate.t list
+
+(** [xx_gates chi a b] expresses the Ising XX(chi) interaction over the
+    canonical set. *)
+val xx_gates : float -> int -> int -> Gate.t list
+
+(** [swap_via_iswap a b] realizes SWAP with one iSWAP and one CZ — two
+    native interactions instead of three — for interfaces exposing the
+    parametric XY gate (Section 6.4's "more powerful native operations"). *)
+val swap_via_iswap : int -> int -> Gate.t list

@@ -1,0 +1,104 @@
+let one_q_label (k : Gate.one_q) =
+  match k with
+  | X -> "[X]"
+  | Y -> "[Y]"
+  | Z -> "[Z]"
+  | H -> "[H]"
+  | S -> "[S]"
+  | Sdg -> "[S']"
+  | T -> "[T]"
+  | Tdg -> "[T']"
+  | Rx t -> Printf.sprintf "[Rx %.2g]" t
+  | Ry t -> Printf.sprintf "[Ry %.2g]" t
+  | Rz t -> Printf.sprintf "[Rz %.2g]" t
+  | Rxy (t, p) -> Printf.sprintf "[R %.2g %.2g]" t p
+  | U1 l -> Printf.sprintf "[U1 %.2g]" l
+  | U2 (p, l) -> Printf.sprintf "[U2 %.2g %.2g]" p l
+  | U3 (t, p, l) -> Printf.sprintf "[U3 %.2g %.2g %.2g]" t p l
+
+(* Cells a gate contributes: (qubit, label) pairs. *)
+let cells (g : Gate.t) =
+  match g with
+  | One (k, q) -> [ (q, one_q_label k) ]
+  | Two (Cnot, a, b) -> [ (a, "*"); (b, "X") ]
+  | Two (Cz, a, b) -> [ (a, "*"); (b, "*") ]
+  | Two (Xx chi, a, b) ->
+    let label = Printf.sprintf "XX(%.2g)" chi in
+    [ (a, label); (b, label) ]
+  | Two (Swap, a, b) -> [ (a, "x"); (b, "x") ]
+  | Two (Iswap, a, b) -> [ (a, "iSW"); (b, "iSW") ]
+  | Ccx (a, b, t) -> [ (a, "*"); (b, "*"); (t, "X") ]
+  | Cswap (c, a, b) -> [ (c, "*"); (a, "x"); (b, "x") ]
+  | Measure q -> [ (q, "M") ]
+
+let span qs = (List.fold_left min max_int qs, List.fold_left max min_int qs)
+
+let center_pad width fill s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let left = (width - n) / 2 in
+    let right = width - n - left in
+    String.make left fill ^ s ^ String.make right fill
+  end
+
+let render ?wire_labels (c : Circuit.t) =
+  let n = c.Circuit.n_qubits in
+  let labels =
+    match wire_labels with
+    | Some l ->
+      if List.length l <> n then invalid_arg "Draw.render: wrong label count";
+      l
+    | None -> List.init n (fun q -> Printf.sprintf "q%d" q)
+  in
+  let layers = Dag.layers (Dag.of_circuit c) in
+  (* Column content per layer: gate cells, '|' connectors on idle wires
+     crossed by a multi-qubit gate, '-' otherwise. *)
+  let columns =
+    List.map
+      (fun layer ->
+        let col = Array.make n `Idle in
+        List.iter
+          (fun g ->
+            let qs = Gate.qubits g in
+            (if List.length qs > 1 then begin
+               let lo, hi = span qs in
+               for q = lo + 1 to hi - 1 do
+                 match col.(q) with `Idle -> col.(q) <- `Bar | `Bar | `Cell _ -> ()
+               done
+             end);
+            List.iter (fun (q, label) -> col.(q) <- `Cell label) (cells g))
+          layer;
+        col)
+      layers
+  in
+  let label_width =
+    List.fold_left (fun acc l -> max acc (String.length l)) 0 labels
+  in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun q label ->
+      Buffer.add_string buf (center_pad label_width ' ' label);
+      Buffer.add_string buf ": -";
+      List.iter
+        (fun col ->
+          let width =
+            Array.fold_left
+              (fun acc cell ->
+                match cell with `Cell s -> max acc (String.length s) | `Bar | `Idle -> acc)
+              1 col
+          in
+          let text =
+            match col.(q) with
+            | `Cell s -> center_pad width '-' s
+            | `Bar -> center_pad width '-' "|"
+            | `Idle -> String.make width '-'
+          in
+          Buffer.add_string buf text;
+          Buffer.add_char buf '-')
+        columns;
+      Buffer.add_char buf '\n')
+    labels;
+  Buffer.contents buf
+
+let pp fmt c = Format.pp_print_string fmt (render c)

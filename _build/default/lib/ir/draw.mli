@@ -1,0 +1,19 @@
+(** ASCII circuit rendering, one wire per qubit (Figure 5 style).
+
+    Gates are placed left to right in dependency (ASAP) layers; control
+    qubits print as [*], targets of CNOT as [X], swap endpoints as [x],
+    measurement as [M], and vertical bars connect multi-qubit operands.
+
+    {v
+    q0: -[H]-----*---[H]-------M
+    q1: -[H]-----|---[H]-------M
+    q2: -[H]-----|---[H]-------M
+    q3: -[X]-[H]-X-------------M
+    v} *)
+
+(** [render ?wire_labels circuit] draws the circuit as a multi-line
+    string. [wire_labels] overrides the default "q0", "q1", ... names. *)
+val render : ?wire_labels:string list -> Circuit.t -> string
+
+(** [pp] is [render] as a formatter. *)
+val pp : Format.formatter -> Circuit.t -> unit

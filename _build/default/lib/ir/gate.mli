@@ -1,0 +1,70 @@
+(** The gate-level intermediate representation.
+
+    This is the vocabulary ScaffCC-style lowering produces and every
+    compiler pass manipulates: one-qubit rotations and named Cliffords,
+    the two-qubit interactions of the three vendors (CNOT, CZ, Ising XX),
+    the multi-qubit gates benchmarks are written in (Toffoli, Fredkin), and
+    readout. Qubit operands are non-negative integers; whether they denote
+    program or hardware qubits depends on the compilation stage. *)
+
+(** One-qubit gates. [Rxy (theta, phi)] rotates by [theta] about the axis
+    at angle [phi] in the XY plane (UMD's native gate). [U1]/[U2]/[U3] are
+    IBM's software-visible parameterized gates. *)
+type one_q =
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Rxy of float * float
+  | U1 of float
+  | U2 of float * float
+  | U3 of float * float * float
+
+(** Two-qubit gates. For [Cnot] and [Cz] the first operand is the control.
+    [Xx chi] is the Ising interaction exp(-i chi X(x)X); [Iswap] is the
+    parametrically-activated XY gate of newer Rigetti devices
+    (|01> <-> i|10>). *)
+type two_q = Cnot | Cz | Xx of float | Swap | Iswap
+
+type t =
+  | One of one_q * int
+  | Two of two_q * int * int
+  | Ccx of int * int * int  (** Toffoli: two controls, then target *)
+  | Cswap of int * int * int  (** Fredkin: control, then two targets *)
+  | Measure of int
+
+(** [qubits g] lists the operands in gate order. *)
+val qubits : t -> int list
+
+(** [arity g] is the number of operands. *)
+val arity : t -> int
+
+(** [is_measure g] is true for readout operations. *)
+val is_measure : t -> bool
+
+(** [is_two_qubit g] is true for [Two _] gates (not Ccx/Cswap, which must
+    be decomposed before counting hardware 2Q operations). *)
+val is_two_qubit : t -> bool
+
+(** [map_qubits f g] renames every operand through [f]. The result must
+    still have distinct operands or [Invalid_argument] is raised. *)
+val map_qubits : (int -> int) -> t -> t
+
+(** [valid_on n g] checks that operands are in [\[0, n)] and pairwise
+    distinct. *)
+val valid_on : int -> t -> bool
+
+(** [one_q_to_quaternion g] is the rotation a non-measure one-qubit gate
+    denotes (global phase discarded). *)
+val one_q_to_quaternion : one_q -> Mathkit.Quaternion.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

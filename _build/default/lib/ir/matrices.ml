@@ -1,0 +1,158 @@
+module M = Mathkit.Matrix
+module C = Mathkit.Cplx
+
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+let one_q (g : Gate.one_q) =
+  let c = C.re and ci = C.make in
+  match g with
+  | X -> M.of_rows [ [ C.zero; C.one ]; [ C.one; C.zero ] ]
+  | Y -> M.of_rows [ [ C.zero; ci 0.0 (-1.0) ]; [ C.i; C.zero ] ]
+  | Z -> M.of_rows [ [ C.one; C.zero ]; [ C.zero; c (-1.0) ] ]
+  | H ->
+    M.of_rows
+      [ [ c inv_sqrt2; c inv_sqrt2 ]; [ c inv_sqrt2; c (-.inv_sqrt2) ] ]
+  | S -> M.of_rows [ [ C.one; C.zero ]; [ C.zero; C.i ] ]
+  | Sdg -> M.of_rows [ [ C.one; C.zero ]; [ C.zero; ci 0.0 (-1.0) ] ]
+  | T -> M.of_rows [ [ C.one; C.zero ]; [ C.zero; C.exp_i (Float.pi /. 4.0) ] ]
+  | Tdg ->
+    M.of_rows [ [ C.one; C.zero ]; [ C.zero; C.exp_i (-.Float.pi /. 4.0) ] ]
+  | Rx theta ->
+    let ch = cos (theta /. 2.0) and sh = sin (theta /. 2.0) in
+    M.of_rows [ [ c ch; ci 0.0 (-.sh) ]; [ ci 0.0 (-.sh); c ch ] ]
+  | Ry theta ->
+    let ch = cos (theta /. 2.0) and sh = sin (theta /. 2.0) in
+    M.of_rows [ [ c ch; c (-.sh) ]; [ c sh; c ch ] ]
+  | Rz theta ->
+    M.of_rows
+      [
+        [ C.exp_i (-.theta /. 2.0); C.zero ];
+        [ C.zero; C.exp_i (theta /. 2.0) ];
+      ]
+  | Rxy (theta, phi) ->
+    (* cos(t/2) I - i sin(t/2) (cos(phi) X + sin(phi) Y) *)
+    let ch = cos (theta /. 2.0) and sh = sin (theta /. 2.0) in
+    let off_01 = C.mul (ci 0.0 (-.sh)) (C.exp_i (-.phi)) in
+    let off_10 = C.mul (ci 0.0 (-.sh)) (C.exp_i phi) in
+    M.of_rows [ [ c ch; off_01 ]; [ off_10; c ch ] ]
+  | U1 lambda -> M.of_rows [ [ C.one; C.zero ]; [ C.zero; C.exp_i lambda ] ]
+  | U2 (phi, lambda) ->
+    M.of_rows
+      [
+        [ c inv_sqrt2; C.scale (-.inv_sqrt2) (C.exp_i lambda) ];
+        [
+          C.scale inv_sqrt2 (C.exp_i phi);
+          C.scale inv_sqrt2 (C.exp_i (phi +. lambda));
+        ];
+      ]
+  | U3 (theta, phi, lambda) ->
+    let ch = cos (theta /. 2.0) and sh = sin (theta /. 2.0) in
+    M.of_rows
+      [
+        [ c ch; C.scale (-.sh) (C.exp_i lambda) ];
+        [ C.scale sh (C.exp_i phi); C.scale ch (C.exp_i (phi +. lambda)) ];
+      ]
+
+let two_q (g : Gate.two_q) =
+  let c = C.re in
+  match g with
+  | Cnot ->
+    M.of_rows
+      [
+        [ C.one; C.zero; C.zero; C.zero ];
+        [ C.zero; C.one; C.zero; C.zero ];
+        [ C.zero; C.zero; C.zero; C.one ];
+        [ C.zero; C.zero; C.one; C.zero ];
+      ]
+  | Cz ->
+    M.of_rows
+      [
+        [ C.one; C.zero; C.zero; C.zero ];
+        [ C.zero; C.one; C.zero; C.zero ];
+        [ C.zero; C.zero; C.one; C.zero ];
+        [ C.zero; C.zero; C.zero; c (-1.0) ];
+      ]
+  | Xx chi ->
+    (* exp(-i chi X(x)X) = cos(chi) I - i sin(chi) X(x)X *)
+    let ch = C.re (cos chi) and msh = C.make 0.0 (-.sin chi) in
+    M.of_rows
+      [
+        [ ch; C.zero; C.zero; msh ];
+        [ C.zero; ch; msh; C.zero ];
+        [ C.zero; msh; ch; C.zero ];
+        [ msh; C.zero; C.zero; ch ];
+      ]
+  | Swap ->
+    M.of_rows
+      [
+        [ C.one; C.zero; C.zero; C.zero ];
+        [ C.zero; C.zero; C.one; C.zero ];
+        [ C.zero; C.one; C.zero; C.zero ];
+        [ C.zero; C.zero; C.zero; C.one ];
+      ]
+  | Iswap ->
+    M.of_rows
+      [
+        [ C.one; C.zero; C.zero; C.zero ];
+        [ C.zero; C.zero; C.i; C.zero ];
+        [ C.zero; C.i; C.zero; C.zero ];
+        [ C.zero; C.zero; C.zero; C.one ];
+      ]
+
+let permutation_8 perm =
+  let m = M.create 8 8 in
+  List.iteri (fun src dst -> M.set m dst src C.one) perm;
+  m
+
+(* Basis index 4*a + 2*b + c for operands (a, b, c). *)
+let ccx = permutation_8 [ 0; 1; 2; 3; 4; 5; 7; 6 ]
+let cswap = permutation_8 [ 0; 1; 2; 3; 4; 6; 5; 7 ]
+
+(* Lift a k-qubit unitary acting on [operands] (first operand = highest bit
+   of the small matrix index) to the full 2^n space where qubit 0 is the
+   highest-order bit of the global index. *)
+let lift n operands small =
+  let dim = 1 lsl n in
+  let k = List.length operands in
+  let full = M.create dim dim in
+  let bit_of_global idx q = (idx lsr (n - 1 - q)) land 1 in
+  for col = 0 to dim - 1 do
+    let small_col =
+      List.fold_left (fun acc q -> (acc lsl 1) lor bit_of_global col q) 0 operands
+    in
+    for small_row = 0 to (1 lsl k) - 1 do
+      let amp = M.get small small_row small_col in
+      if not (C.is_zero amp) then begin
+        (* Rewrite the operand bits of [col] to [small_row]'s bits. *)
+        let row =
+          List.fold_left
+            (fun acc (pos, q) ->
+              let bit = (small_row lsr (k - 1 - pos)) land 1 in
+              let mask = 1 lsl (n - 1 - q) in
+              if bit = 1 then acc lor mask else acc land lnot mask)
+            col
+            (List.mapi (fun pos q -> (pos, q)) operands)
+        in
+        M.set full row col (C.add (M.get full row col) amp)
+      end
+    done
+  done;
+  full
+
+let circuit_unitary (c : Circuit.t) =
+  let n = c.Circuit.n_qubits in
+  if n > 12 then invalid_arg "Matrices.circuit_unitary: circuit too large";
+  List.fold_left
+    (fun acc g ->
+      let lifted =
+        match (g : Gate.t) with
+        | One (k, q) -> lift n [ q ] (one_q k)
+        | Two (k, a, b) -> lift n [ a; b ] (two_q k)
+        | Ccx (a, b, t) -> lift n [ a; b; t ] ccx
+        | Cswap (a, b, t) -> lift n [ a; b; t ] cswap
+        | Measure _ ->
+          invalid_arg "Matrices.circuit_unitary: circuit contains Measure"
+      in
+      M.mul lifted acc)
+    (M.identity (1 lsl n))
+    c.Circuit.gates

@@ -1,0 +1,23 @@
+(** Unitary matrices for IR gates.
+
+    Basis convention: for a two-qubit matrix over operands [(a, b)], the
+    basis index is [2*x_a + x_b] — the first operand is the high bit. The
+    simulator and all equivalence tests share this convention. *)
+
+(** [one_q g] is the 2x2 unitary of a one-qubit gate. *)
+val one_q : Gate.one_q -> Mathkit.Matrix.t
+
+(** [two_q g] is the 4x4 unitary of a two-qubit gate (first operand = high
+    bit; for controlled gates the first operand is the control). *)
+val two_q : Gate.two_q -> Mathkit.Matrix.t
+
+(** [ccx] and [cswap] are the 8x8 Toffoli and Fredkin unitaries with basis
+    index [4*x_a + 2*x_b + x_c] for operands [(a, b, c)]. *)
+val ccx : Mathkit.Matrix.t
+
+val cswap : Mathkit.Matrix.t
+
+(** [circuit_unitary c] is the full 2^n x 2^n unitary of a measurement-free
+    circuit (qubit 0 is the highest-order bit). Intended for small [n] in
+    tests; raises [Invalid_argument] if the circuit contains [Measure]. *)
+val circuit_unitary : Circuit.t -> Mathkit.Matrix.t

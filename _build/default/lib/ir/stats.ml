@@ -1,0 +1,95 @@
+type t = {
+  n_qubits : int;
+  total_gates : int;
+  one_q : int;
+  two_q : int;
+  multi_q : int;
+  measures : int;
+  depth : int;
+  two_q_depth : int;
+  parallelism : float;
+  histogram : (string * int) list;
+}
+
+let gate_family (g : Gate.t) =
+  match g with
+  | One (k, _) -> (
+    match k with
+    | X -> "X"
+    | Y -> "Y"
+    | Z -> "Z"
+    | H -> "H"
+    | S -> "S"
+    | Sdg -> "Sdg"
+    | T -> "T"
+    | Tdg -> "Tdg"
+    | Rx _ -> "Rx"
+    | Ry _ -> "Ry"
+    | Rz _ -> "Rz"
+    | Rxy _ -> "Rxy"
+    | U1 _ -> "U1"
+    | U2 _ -> "U2"
+    | U3 _ -> "U3")
+  | Two (Cnot, _, _) -> "CNOT"
+  | Two (Cz, _, _) -> "CZ"
+  | Two (Xx _, _, _) -> "XX"
+  | Two (Swap, _, _) -> "SWAP"
+  | Two (Iswap, _, _) -> "ISWAP"
+  | Ccx _ -> "CCX"
+  | Cswap _ -> "CSWAP"
+  | Measure _ -> "MEASURE"
+
+let of_circuit (c : Circuit.t) =
+  let table = Hashtbl.create 16 in
+  let bump key = Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key)) in
+  let one_q = ref 0 and two_q = ref 0 and multi_q = ref 0 and measures = ref 0 in
+  List.iter
+    (fun g ->
+      bump (gate_family g);
+      match (g : Gate.t) with
+      | One _ -> incr one_q
+      | Two _ -> incr two_q
+      | Ccx _ | Cswap _ -> incr multi_q
+      | Measure _ -> incr measures)
+    c.Circuit.gates;
+  let dag = Dag.of_circuit c in
+  let histogram =
+    Hashtbl.fold (fun key count acc -> (key, count) :: acc) table []
+    |> List.sort (fun (k1, n1) (k2, n2) -> compare (n2, k1) (n1, k2))
+  in
+  {
+    n_qubits = c.Circuit.n_qubits;
+    total_gates = Circuit.gate_count c;
+    one_q = !one_q;
+    two_q = !two_q;
+    multi_q = !multi_q;
+    measures = !measures;
+    depth = Dag.depth dag;
+    two_q_depth = Dag.two_q_depth dag;
+    parallelism = Dag.parallelism dag;
+    histogram;
+  }
+
+let interaction_degree (c : Circuit.t) =
+  let partners = Array.make c.Circuit.n_qubits [] in
+  List.iter
+    (fun g ->
+      match (g : Gate.t) with
+      | Two (_, a, b) ->
+        if not (List.mem b partners.(a)) then partners.(a) <- b :: partners.(a);
+        if not (List.mem a partners.(b)) then partners.(b) <- a :: partners.(b)
+      | Ccx (a, b, t) | Cswap (a, b, t) ->
+        List.iter
+          (fun (x, y) ->
+            if not (List.mem y partners.(x)) then partners.(x) <- y :: partners.(x))
+          [ (a, b); (a, t); (b, a); (b, t); (t, a); (t, b) ]
+      | One _ | Measure _ -> ())
+    c.Circuit.gates;
+  Array.map List.length partners
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%d qubits, %d gates (%d 1Q, %d 2Q, %d multi, %d measure), depth %d (2Q depth %d), parallelism %.2f@\n"
+    t.n_qubits t.total_gates t.one_q t.two_q t.multi_q t.measures t.depth t.two_q_depth
+    t.parallelism;
+  List.iter (fun (k, n) -> Format.fprintf fmt "  %-8s %d@\n" k n) t.histogram

@@ -1,0 +1,31 @@
+(** Circuit statistics: the quantitative summary used by the benchmark
+    tables and by compiler diagnostics. *)
+
+type t = {
+  n_qubits : int;
+  total_gates : int;
+  one_q : int;
+  two_q : int;
+  multi_q : int;  (** undecomposed Ccx/Cswap *)
+  measures : int;
+  depth : int;  (** ASAP layers *)
+  two_q_depth : int;  (** layers containing a 2Q gate *)
+  parallelism : float;
+  histogram : (string * int) list;
+      (** per-gate-family counts (rotations keyed by family, not angle),
+          descending *)
+}
+
+(** [of_circuit c] computes all statistics in one pass. *)
+val of_circuit : Circuit.t -> t
+
+(** [gate_family g] is the histogram key of a gate ("H", "Rz", "CNOT",
+    "MEASURE", ...). *)
+val gate_family : Gate.t -> string
+
+(** [interaction_degree c] is, per program qubit, the number of distinct
+    partners it shares a 2Q gate with — the interaction-graph degree
+    driving mapper difficulty. *)
+val interaction_degree : Circuit.t -> int array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mathkit/cplx.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/mathkit/cplx.mli: Complex Format

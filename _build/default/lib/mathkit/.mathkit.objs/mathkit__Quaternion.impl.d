@@ -1,0 +1,1 @@
+lib/mathkit/quaternion.ml: Cplx Float Format Matrix

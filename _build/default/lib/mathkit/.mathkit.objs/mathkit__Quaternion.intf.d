@@ -1,0 +1,1 @@
+lib/mathkit/quaternion.mli: Format Matrix

@@ -1,0 +1,1 @@
+lib/mathkit/rng.mli:

@@ -1,0 +1,1 @@
+lib/mathkit/stats.ml: Array Float List

@@ -1,0 +1,32 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+
+let re x : t = { Complex.re = x; im = 0.0 }
+let make re im : t = { Complex.re; im }
+
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let neg = Complex.neg
+let conj = Complex.conj
+
+let scale s (z : t) : t = { Complex.re = s *. z.re; im = s *. z.im }
+
+let norm2 (z : t) = (z.re *. z.re) +. (z.im *. z.im)
+
+let abs = Complex.norm
+
+let exp_i theta : t = { Complex.re = cos theta; im = sin theta }
+
+let approx ?(eps = 1e-9) a b = abs (sub a b) <= eps
+
+let is_zero ?(eps = 1e-9) z = abs z <= eps
+
+let pp fmt (z : t) =
+  if Float.abs z.im <= 1e-12 then Format.fprintf fmt "%.4g" z.re
+  else Format.fprintf fmt "(%.4g%+.4gi)" z.re z.im
+
+let to_string z = Format.asprintf "%a" pp z

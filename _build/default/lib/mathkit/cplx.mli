@@ -1,0 +1,44 @@
+(** Complex-number helpers on top of the standard [Complex] type.
+
+    Quantum amplitudes and gate-matrix entries are [Complex.t] values; this
+    module adds the small vocabulary the simulator and the unitary algebra
+    need (scaling, approximate equality, phases). *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+
+(** [re x] is the real number [x] as a complex value. *)
+val re : float -> t
+
+(** [make re im] builds a complex number from parts. *)
+val make : float -> float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+
+(** [scale s z] multiplies [z] by the real scalar [s]. *)
+val scale : float -> t -> t
+
+(** [norm2 z] is |z|^2, the probability weight of amplitude [z]. *)
+val norm2 : t -> float
+
+(** [abs z] is |z|. *)
+val abs : t -> float
+
+(** [exp_i theta] is e^{i theta}. *)
+val exp_i : float -> t
+
+(** [approx ?eps a b] tests |a - b| <= eps (default 1e-9). *)
+val approx : ?eps:float -> t -> t -> bool
+
+(** [is_zero ?eps z] tests |z| <= eps. *)
+val is_zero : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,138 @@
+type t = { rows : int; cols : int; data : Cplx.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) Cplx.zero }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let index m r c =
+  if r < 0 || r >= m.rows || c < 0 || c >= m.cols then
+    invalid_arg "Matrix: index out of bounds";
+  (r * m.cols) + c
+
+let get m r c = m.data.(index m r c)
+let set m r c v = m.data.(index m r c) <- v
+
+let of_rows row_lists =
+  match row_lists with
+  | [] -> invalid_arg "Matrix.of_rows: empty"
+  | first :: _ ->
+    let cols = List.length first in
+    let rows = List.length row_lists in
+    let m = create rows cols in
+    List.iteri
+      (fun r row ->
+        if List.length row <> cols then invalid_arg "Matrix.of_rows: ragged rows";
+        List.iteri (fun c v -> set m r c v) row)
+      row_lists;
+    m
+
+let identity n =
+  let m = create n n in
+  for k = 0 to n - 1 do
+    set m k k Cplx.one
+  done;
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create a.rows b.cols in
+  for r = 0 to a.rows - 1 do
+    for c = 0 to b.cols - 1 do
+      let acc = ref Cplx.zero in
+      for k = 0 to a.cols - 1 do
+        acc := Cplx.add !acc (Cplx.mul (get a r k) (get b k c))
+      done;
+      set m r c !acc
+    done
+  done;
+  m
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.add: dimension mismatch";
+  { a with data = Array.mapi (fun k v -> Cplx.add v b.data.(k)) a.data }
+
+let scale s a = { a with data = Array.map (Cplx.mul s) a.data }
+
+let kron a b =
+  let m = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ar = 0 to a.rows - 1 do
+    for ac = 0 to a.cols - 1 do
+      let v = get a ar ac in
+      for br = 0 to b.rows - 1 do
+        for bc = 0 to b.cols - 1 do
+          set m ((ar * b.rows) + br) ((ac * b.cols) + bc) (Cplx.mul v (get b br bc))
+        done
+      done
+    done
+  done;
+  m
+
+let adjoint a =
+  let m = create a.cols a.rows in
+  for r = 0 to a.rows - 1 do
+    for c = 0 to a.cols - 1 do
+      set m c r (Cplx.conj (get a r c))
+    done
+  done;
+  m
+
+let trace a =
+  if a.rows <> a.cols then invalid_arg "Matrix.trace: not square";
+  let acc = ref Cplx.zero in
+  for k = 0 to a.rows - 1 do
+    acc := Cplx.add !acc (get a k k)
+  done;
+  !acc
+
+let apply a v =
+  if Array.length v <> a.cols then invalid_arg "Matrix.apply: dimension mismatch";
+  Array.init a.rows (fun r ->
+      let acc = ref Cplx.zero in
+      for c = 0 to a.cols - 1 do
+        acc := Cplx.add !acc (Cplx.mul (get a r c) v.(c))
+      done;
+      !acc)
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Cplx.approx ~eps x y) a.data b.data
+
+let proportional ?(eps = 1e-9) a b =
+  if a.rows <> b.rows || a.cols <> b.cols then false
+  else begin
+    (* Find the largest entry of [a] and use it to fix the relative phase. *)
+    let best = ref (-1) in
+    Array.iteri
+      (fun k v ->
+        if !best < 0 || Cplx.abs v > Cplx.abs a.data.(!best) then
+          if Cplx.abs v > eps then best := k)
+      a.data;
+    if !best < 0 then
+      (* [a] is numerically zero: proportional iff [b] is too. *)
+      Array.for_all (Cplx.is_zero ~eps) b.data
+    else if Cplx.is_zero ~eps b.data.(!best) then false
+    else begin
+      let phase = Complex.div b.data.(!best) a.data.(!best) in
+      if Float.abs (Cplx.abs phase -. 1.0) > 1e-6 then false
+      else
+        Array.for_all2
+          (fun x y -> Cplx.approx ~eps (Cplx.mul phase x) y)
+          a.data b.data
+    end
+  end
+
+let is_unitary ?(eps = 1e-9) a =
+  a.rows = a.cols && equal ~eps (mul a (adjoint a)) (identity a.rows)
+
+let pp fmt m =
+  for r = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Format.fprintf fmt ", ";
+      Cplx.pp fmt (get m r c)
+    done;
+    Format.fprintf fmt "]@\n"
+  done

@@ -1,0 +1,56 @@
+(** Small dense complex matrices.
+
+    Gate unitaries are 2x2 (one-qubit) or 4x4 (two-qubit); equivalence
+    checking multiplies chains of them. Sizes stay tiny, so a boxed
+    row-major array of [Complex.t] is the right representation. *)
+
+type t
+
+(** [create rows cols] is the all-zero matrix. *)
+val create : int -> int -> t
+
+(** [of_rows rows] builds a matrix from row lists; all rows must have the
+    same length and the list must be non-empty. *)
+val of_rows : Cplx.t list list -> t
+
+(** [identity n] is the n x n identity. *)
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Cplx.t
+val set : t -> int -> int -> Cplx.t -> unit
+
+(** [mul a b] is the matrix product; dimensions must agree. *)
+val mul : t -> t -> t
+
+(** [add a b] is the entry-wise sum; dimensions must agree. *)
+val add : t -> t -> t
+
+(** [scale s a] multiplies every entry by [s]. *)
+val scale : Cplx.t -> t -> t
+
+(** [kron a b] is the Kronecker (tensor) product a (x) b. *)
+val kron : t -> t -> t
+
+(** [adjoint a] is the conjugate transpose. *)
+val adjoint : t -> t
+
+(** [trace a] is the trace of a square matrix. *)
+val trace : t -> Cplx.t
+
+(** [apply a v] is the matrix-vector product; [Array.length v = cols a]. *)
+val apply : t -> Cplx.t array -> Cplx.t array
+
+(** [equal ?eps a b] is entry-wise approximate equality. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [proportional ?eps a b] tests equality up to a global phase, the notion
+    of equivalence that matters for unitaries. *)
+val proportional : ?eps:float -> t -> t -> bool
+
+(** [is_unitary ?eps a] tests a * a^dagger = I for a square matrix. *)
+val is_unitary : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

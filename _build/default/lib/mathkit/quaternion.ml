@@ -1,0 +1,80 @@
+type t = { w : float; x : float; y : float; z : float }
+
+let identity = { w = 1.0; x = 0.0; y = 0.0; z = 0.0 }
+
+let norm q = sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+let normalize q =
+  let n = norm q in
+  if n < 1e-12 then invalid_arg "Quaternion.normalize: zero quaternion";
+  { w = q.w /. n; x = q.x /. n; y = q.y /. n; z = q.z /. n }
+
+let of_axis_angle (nx, ny, nz) theta =
+  let len = sqrt ((nx *. nx) +. (ny *. ny) +. (nz *. nz)) in
+  if len < 1e-12 then invalid_arg "Quaternion.of_axis_angle: zero axis";
+  let s = sin (theta /. 2.0) /. len in
+  { w = cos (theta /. 2.0); x = nx *. s; y = ny *. s; z = nz *. s }
+
+let rx theta = of_axis_angle (1.0, 0.0, 0.0) theta
+let ry theta = of_axis_angle (0.0, 1.0, 0.0) theta
+let rz theta = of_axis_angle (0.0, 0.0, 1.0) theta
+let rxy theta phi = of_axis_angle (cos phi, sin phi, 0.0) theta
+
+let mul a b =
+  {
+    w = (a.w *. b.w) -. (a.x *. b.x) -. (a.y *. b.y) -. (a.z *. b.z);
+    x = (a.w *. b.x) +. (a.x *. b.w) +. (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.w *. b.y) -. (a.x *. b.z) +. (a.y *. b.w) +. (a.z *. b.x);
+    z = (a.w *. b.z) +. (a.x *. b.y) -. (a.y *. b.x) +. (a.z *. b.w);
+  }
+
+let conjugate q = { q with x = -.q.x; y = -.q.y; z = -.q.z }
+
+let equal_rotation ?(eps = 1e-9) a b =
+  let close s =
+    Float.abs ((s *. a.w) -. b.w) <= eps
+    && Float.abs ((s *. a.x) -. b.x) <= eps
+    && Float.abs ((s *. a.y) -. b.y) <= eps
+    && Float.abs ((s *. a.z) -. b.z) <= eps
+  in
+  close 1.0 || close (-1.0)
+
+let is_identity ?(eps = 1e-9) q = equal_rotation ~eps q identity
+
+let is_z_rotation ?(eps = 1e-9) q =
+  Float.abs q.x <= eps && Float.abs q.y <= eps
+
+let z_angle q = 2.0 *. atan2 q.z q.w
+
+(* Euler decompositions. With q = (w,x,y,z) mapped to the SU(2) matrix
+   [[w - iz, -y - ix], [y - ix, w + iz]]:
+   - cos(beta/2) = sqrt(w^2 + z^2), sin(beta/2) = sqrt(x^2 + y^2)
+   - (alpha + gamma)/2 = atan2(z, w)
+   - ZYZ: (alpha - gamma)/2 = atan2(-x, y)
+   - ZXZ: (alpha - gamma)/2 = atan2(y, x)
+   Degenerate branches (beta = 0 or pi) leave one phase free; we pin the
+   free half-angle to 0. *)
+let euler_half_angles q half_diff =
+  let cos_half = sqrt ((q.w *. q.w) +. (q.z *. q.z)) in
+  let sin_half = sqrt ((q.x *. q.x) +. (q.y *. q.y)) in
+  let beta = 2.0 *. atan2 sin_half cos_half in
+  let half_sum = if cos_half < 1e-12 then 0.0 else atan2 q.z q.w in
+  let half_diff = if sin_half < 1e-12 then 0.0 else half_diff in
+  (half_sum +. half_diff, beta, half_sum -. half_diff)
+
+let to_zyz q =
+  let q = normalize q in
+  euler_half_angles q (atan2 (-.q.x) q.y)
+
+let to_zxz q =
+  let q = normalize q in
+  euler_half_angles q (atan2 q.y q.x)
+
+let to_matrix q =
+  Matrix.of_rows
+    [
+      [ Cplx.make q.w (-.q.z); Cplx.make (-.q.y) (-.q.x) ];
+      [ Cplx.make q.y (-.q.x); Cplx.make q.w q.z ];
+    ]
+
+let pp fmt q = Format.fprintf fmt "(%.4g, %.4g, %.4g, %.4g)" q.w q.x q.y q.z

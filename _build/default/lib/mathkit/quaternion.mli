@@ -1,0 +1,67 @@
+(** Unit quaternions representing single-qubit rotations.
+
+    TriQ coalesces runs of one-qubit gates by composing their rotations as
+    quaternion products and re-emitting the result as two (error-free)
+    Z-axis rotations around one X- or Y-axis rotation. A unit quaternion
+    [(w, x, y, z)] corresponds to the SU(2) element
+    [w*I - i*(x*X + y*Y + z*Z)]. *)
+
+type t = { w : float; x : float; y : float; z : float }
+
+(** The identity rotation. *)
+val identity : t
+
+(** [of_axis_angle (nx, ny, nz) theta] rotates by [theta] around the given
+    axis; the axis is normalized internally and must be non-zero. *)
+val of_axis_angle : float * float * float -> float -> t
+
+(** [rx theta], [ry theta], [rz theta] are the standard axis rotations. *)
+val rx : float -> t
+
+val ry : float -> t
+val rz : float -> t
+
+(** [rxy theta phi] rotates by [theta] around the axis
+    [(cos phi, sin phi, 0)] in the XY plane — the native one-qubit gate of
+    the UMD trapped-ion machine. *)
+val rxy : float -> float -> t
+
+(** [mul a b] composes rotations: apply [b] first, then [a] (matching
+    matrix product order [a * b]). *)
+val mul : t -> t -> t
+
+(** [normalize q] rescales to unit norm; raises [Invalid_argument] on the
+    zero quaternion. *)
+val normalize : t -> t
+
+val conjugate : t -> t
+val norm : t -> float
+
+(** [equal_rotation ?eps a b] tests whether [a] and [b] denote the same
+    rotation, i.e. are equal up to overall sign. *)
+val equal_rotation : ?eps:float -> t -> t -> bool
+
+(** [is_identity ?eps q] tests whether [q] is the trivial rotation. *)
+val is_identity : ?eps:float -> t -> bool
+
+(** [is_z_rotation ?eps q] tests whether [q] is a pure Z-axis rotation
+    (including the identity); such gates are error-free "virtual Z" gates
+    on all three vendors. *)
+val is_z_rotation : ?eps:float -> t -> bool
+
+(** [z_angle q] is the angle [lambda] such that [q] equals [rz lambda];
+    meaningful only when [is_z_rotation q]. *)
+val z_angle : t -> float
+
+(** [to_zyz q] returns [(alpha, beta, gamma)] with
+    [q = rz alpha * ry beta * rz gamma]. *)
+val to_zyz : t -> float * float * float
+
+(** [to_zxz q] returns [(alpha, beta, gamma)] with
+    [q = rz alpha * rx beta * rz gamma]. *)
+val to_zxz : t -> float * float * float
+
+(** [to_matrix q] is the corresponding 2x2 SU(2) matrix. *)
+val to_matrix : t -> Matrix.t
+
+val pp : Format.formatter -> t -> unit

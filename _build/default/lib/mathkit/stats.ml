@@ -1,0 +1,70 @@
+let require_non_empty name l =
+  if l = [] then invalid_arg (name ^ ": empty list")
+
+let sum l =
+  require_non_empty "Stats.sum" l;
+  List.fold_left ( +. ) 0.0 l
+
+let mean l =
+  require_non_empty "Stats.mean" l;
+  sum l /. float_of_int (List.length l)
+
+let geomean l =
+  require_non_empty "Stats.geomean" l;
+  let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 l in
+  exp (log_sum /. float_of_int (List.length l))
+
+let sorted l = List.sort Float.compare l
+
+let median l =
+  require_non_empty "Stats.median" l;
+  let a = Array.of_list (sorted l) in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev l =
+  require_non_empty "Stats.stddev" l;
+  let m = mean l in
+  let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) l) in
+  sqrt var
+
+let minimum l =
+  require_non_empty "Stats.minimum" l;
+  List.fold_left Float.min Float.infinity l
+
+let maximum l =
+  require_non_empty "Stats.maximum" l;
+  List.fold_left Float.max Float.neg_infinity l
+
+let geomean_ratio pairs =
+  let ratios =
+    List.filter_map (fun (a, b) -> if b = 0.0 then None else Some (a /. b)) pairs
+  in
+  if ratios = [] then Float.nan else geomean ratios
+
+let percentile p l =
+  require_non_empty "Stats.percentile" l;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list (sorted l) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let correlation pairs =
+  if List.length pairs < 2 then invalid_arg "Stats.correlation: need two pairs";
+  let xs = List.map fst pairs and ys = List.map snd pairs in
+  let mx = mean xs and my = mean ys in
+  let cov =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 pairs
+  in
+  let sx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs) in
+  let sy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys) in
+  if sx < 1e-12 || sy < 1e-12 then
+    invalid_arg "Stats.correlation: zero variance";
+  cov /. (sx *. sy)

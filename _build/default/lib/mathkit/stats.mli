@@ -1,0 +1,26 @@
+(** Summary statistics used by the experiment harness (geomean improvement
+    factors, distribution summaries). All functions raise
+    [Invalid_argument] on an empty input list. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+val median : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+(** [geomean_ratio pairs] is the geometric mean of [a /. b] over pairs
+    [(a, b)]; pairs whose denominator is zero are dropped, and the result is
+    [nan] if every pair is dropped. Used for "geomean improvement over
+    baseline" rows. *)
+val geomean_ratio : (float * float) list -> float
+
+(** [percentile p l] is the [p]-th percentile (0 <= p <= 100) using linear
+    interpolation between closest ranks. *)
+val percentile : float -> float list -> float
+
+(** [correlation pairs] is the Pearson correlation coefficient of [(x, y)]
+    pairs; raises [Invalid_argument] with fewer than two pairs or zero
+    variance in either coordinate. *)
+val correlation : (float * float) list -> float

@@ -1,0 +1,1 @@
+lib/pulse/emit.ml: Format List Printf Schedule String Waveform

@@ -1,0 +1,1 @@
+lib/pulse/lower.ml: Device Float Ir List Printf Schedule Triq Waveform

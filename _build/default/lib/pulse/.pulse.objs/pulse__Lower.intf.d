@@ -1,0 +1,1 @@
+lib/pulse/lower.mli: Device Ir Schedule Triq

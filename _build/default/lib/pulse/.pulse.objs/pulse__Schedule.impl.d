@@ -1,0 +1,1 @@
+lib/pulse/schedule.ml: Float Format Hashtbl List Option Waveform

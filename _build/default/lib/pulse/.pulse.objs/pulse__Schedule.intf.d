@@ -1,0 +1,1 @@
+lib/pulse/schedule.mli: Format Waveform

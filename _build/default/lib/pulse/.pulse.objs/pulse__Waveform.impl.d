@@ -1,0 +1,1 @@
+lib/pulse/waveform.ml: Format

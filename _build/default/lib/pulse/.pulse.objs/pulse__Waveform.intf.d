@@ -1,0 +1,1 @@
+lib/pulse/waveform.mli: Format

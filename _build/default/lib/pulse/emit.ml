@@ -1,0 +1,35 @@
+let channel_name ch = Format.asprintf "%a" Schedule.pp_channel ch
+
+let json_of_entry (e : Schedule.entry) =
+  let common = Printf.sprintf "\"t0\": %.1f, \"ch\": \"%s\"" e.Schedule.start_ns (channel_name e.Schedule.channel) in
+  match e.Schedule.instruction with
+  | Schedule.Play w ->
+    let shape =
+      match w.Waveform.shape with
+      | Waveform.Gaussian { sigma_ns } -> Printf.sprintf "\"shape\": \"gaussian\", \"sigma\": %.1f" sigma_ns
+      | Waveform.Gaussian_square { sigma_ns; width_ns } ->
+        Printf.sprintf "\"shape\": \"gaussian_square\", \"sigma\": %.1f, \"width\": %.1f"
+          sigma_ns width_ns
+      | Waveform.Drag { sigma_ns; beta } ->
+        Printf.sprintf "\"shape\": \"drag\", \"sigma\": %.1f, \"beta\": %.2f" sigma_ns beta
+      | Waveform.Constant -> "\"shape\": \"constant\""
+    in
+    Printf.sprintf
+      "{\"name\": \"play\", %s, \"pulse\": \"%s\", \"duration\": %.1f, \"amp\": %.3f, \"phase\": %.4f, %s}"
+      common w.Waveform.name w.Waveform.duration_ns w.Waveform.amplitude
+      w.Waveform.phase shape
+  | Schedule.Frame_change phase ->
+    Printf.sprintf "{\"name\": \"fc\", %s, \"phase\": %.6f}" common phase
+  | Schedule.Acquire { duration_ns } ->
+    Printf.sprintf "{\"name\": \"acquire\", %s, \"duration\": %.1f}" common duration_ns
+  | Schedule.Busy { duration_ns } ->
+    Printf.sprintf "{\"name\": \"delay\", %s, \"duration\": %.1f}" common duration_ns
+
+let openpulse_json schedule =
+  let entries = Schedule.entries schedule in
+  let body = String.concat ",\n    " (List.map json_of_entry entries) in
+  Printf.sprintf
+    "{\n  \"schema\": \"openpulse-0.1\",\n  \"duration_ns\": %.1f,\n  \"instructions\": [\n    %s\n  ]\n}\n"
+    (Schedule.duration_ns schedule) body
+
+let text schedule = Format.asprintf "%a" Schedule.pp schedule

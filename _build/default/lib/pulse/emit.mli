@@ -1,0 +1,11 @@
+(** Pulse-schedule serialization.
+
+    [openpulse_json] renders an OpenPulse-flavoured JSON document (one
+    instruction object per entry, with [t0], [ch], [name] and pulse
+    parameters), mirroring the interface IBM announced for pulse-level
+    control (the paper's Section 7 pointer). [text] is the human-readable
+    timing listing. *)
+
+val openpulse_json : Schedule.t -> string
+
+val text : Schedule.t -> string

@@ -1,0 +1,134 @@
+module Machine = Device.Machine
+module Gateset = Device.Gateset
+module Calibration = Device.Calibration
+open Schedule
+
+let ns_of_us us = 1000.0 *. us
+
+let readout_duration_ns machine =
+  match Gateset.vendor_of_basis machine.Machine.basis with
+  | Gateset.Ibm | Gateset.Rigetti -> 2000.0
+  | Gateset.Umd -> 200_000.0
+
+(* Single-qubit pulse calibrations. *)
+
+let x90 machine phase =
+  let duration = ns_of_us machine.Machine.profile.Calibration.one_q_time_us in
+  match Gateset.vendor_of_basis machine.Machine.basis with
+  | Gateset.Ibm ->
+    Waveform.create ~name:"x90" ~shape:(Waveform.Drag { sigma_ns = duration /. 4.0; beta = 0.6 })
+      ~duration_ns:duration ~amplitude:0.2 ~phase
+  | Gateset.Rigetti ->
+    Waveform.create ~name:"x90"
+      ~shape:(Waveform.Gaussian { sigma_ns = duration /. 4.0 })
+      ~duration_ns:duration ~amplitude:0.25 ~phase
+  | Gateset.Umd ->
+    Waveform.create ~name:"raman90" ~shape:Waveform.Constant
+      ~duration_ns:(duration /. 2.0) ~amplitude:0.5 ~phase
+
+let raman machine theta phase =
+  (* Rotation angle proportional to tone duration. *)
+  let full = ns_of_us machine.Machine.profile.Calibration.one_q_time_us in
+  let duration = Float.max 1.0 (full *. Float.abs theta /. Float.pi) in
+  Waveform.create ~name:"raman" ~shape:Waveform.Constant ~duration_ns:duration
+    ~amplitude:0.5
+    ~phase:(if theta >= 0.0 then phase else phase +. Float.pi)
+
+let two_q_duration machine = ns_of_us machine.Machine.profile.Calibration.two_q_time_us
+
+let flat_top machine ~name ~fraction ~amplitude ~phase =
+  let duration = Float.max 2.0 (two_q_duration machine *. fraction) in
+  Waveform.create ~name
+    ~shape:(Waveform.Gaussian_square { sigma_ns = duration /. 8.0; width_ns = duration /. 2.0 })
+    ~duration_ns:duration ~amplitude ~phase
+
+(* Gate lowering. Returns the updated schedule. *)
+
+let lower_gate machine schedule (g : Ir.Gate.t) =
+  let basis = machine.Machine.basis in
+  if not (Gateset.gate_visible basis g) then
+    invalid_arg
+      (Printf.sprintf "Pulse.Lower: gate %s is not software-visible" (Ir.Gate.to_string g));
+  let seq steps = List.fold_left (fun sched step -> step sched) schedule steps in
+  let play_on sched channels w = fst (append sched ~channels (Play w)) in
+  let fc_on sched channels phase = fst (append sched ~channels (Frame_change phase)) in
+  match g with
+  | One (U1 lambda, q) -> fc_on schedule [ Drive q ] lambda
+  | One (U2 (phi, lambda), q) ->
+    (* U2 = fc(lambda) . X90 . fc(phi) up to global phase. *)
+    seq
+      [
+        (fun s -> fc_on s [ Drive q ] lambda);
+        (fun s -> play_on s [ Drive q ] (x90 machine 0.0));
+        (fun s -> fc_on s [ Drive q ] phi);
+      ]
+  | One (U3 (theta, phi, lambda), q) ->
+    seq
+      [
+        (fun s -> fc_on s [ Drive q ] (lambda -. (Float.pi /. 2.0)));
+        (fun s -> play_on s [ Drive q ] (x90 machine 0.0));
+        (fun s -> fc_on s [ Drive q ] (Float.pi -. theta));
+        (fun s -> play_on s [ Drive q ] (x90 machine 0.0));
+        (fun s -> fc_on s [ Drive q ] (phi -. (Float.pi /. 2.0)));
+      ]
+  | One (Rz lambda, q) -> fc_on schedule [ Drive q ] lambda
+  | One (Rx theta, q) ->
+    (* Rigetti-visible Rx(+-pi/2) or the generic case: one pulse whose
+       phase encodes the sign. *)
+    play_on schedule [ Drive q ]
+      (x90 machine (if theta >= 0.0 then 0.0 else Float.pi))
+  | One (Rxy (theta, phi), q) -> play_on schedule [ Drive q ] (raman machine theta phi)
+  | One _ ->
+    (* Unreachable: gate_visible already filtered non-visible 1Q gates. *)
+    assert false
+  | Two (Cnot, a, b) ->
+    (* Echoed cross resonance: CR90+ tone, pi echo on the control, CR90-
+       tone. The CR tones drive the control channel and occupy the
+       target's drive line; the echo occupies the control's. *)
+    let cr phase =
+      flat_top machine ~name:"cr90" ~fraction:0.45 ~amplitude:0.35 ~phase
+    in
+    let xp =
+      Waveform.create ~name:"xp"
+        ~shape:(Waveform.Drag
+                  { sigma_ns = ns_of_us machine.Machine.profile.Calibration.one_q_time_us /. 4.0;
+                    beta = 0.6 })
+        ~duration_ns:(ns_of_us machine.Machine.profile.Calibration.one_q_time_us)
+        ~amplitude:0.4 ~phase:0.0
+    in
+    seq
+      [
+        (fun s -> play_on s [ Control (a, b); Drive a; Drive b ] (cr 0.0));
+        (fun s -> play_on s [ Drive a ] xp);
+        (fun s -> play_on s [ Control (a, b); Drive a; Drive b ] (cr Float.pi));
+      ]
+  | Two (Cz, a, b) ->
+    play_on schedule
+      [ Control (a, b); Drive a; Drive b ]
+      (flat_top machine ~name:"cz" ~fraction:1.0 ~amplitude:0.8 ~phase:0.0)
+  | Two (Iswap, a, b) ->
+    (* Parametrically-activated XY interaction on the coupler. *)
+    play_on schedule
+      [ Control (a, b); Drive a; Drive b ]
+      (flat_top machine ~name:"iswap" ~fraction:1.0 ~amplitude:0.9 ~phase:0.0)
+  | Two (Xx _, a, b) ->
+    (* Moelmer-Soerensen: simultaneous bichromatic tones on both ions. *)
+    let tone =
+      Waveform.create ~name:"ms" ~shape:Waveform.Constant
+        ~duration_ns:(two_q_duration machine) ~amplitude:0.6 ~phase:0.0
+    in
+    play_on schedule [ Drive a; Drive b ] tone
+  | Two (Swap, _, _) | Ccx _ | Cswap _ ->
+    (* Never software-visible; gate_visible already rejected them. *)
+    assert false
+  | Measure q ->
+    fst
+      (append schedule
+         ~channels:[ Acquire_ch q; Drive q ]
+         (Acquire { duration_ns = readout_duration_ns machine }))
+
+let of_circuit machine (c : Ir.Circuit.t) =
+  List.fold_left (lower_gate machine) Schedule.empty c.Ir.Circuit.gates
+
+let of_compiled (compiled : Triq.Compiled.t) =
+  of_circuit compiled.Triq.Compiled.machine compiled.Triq.Compiled.hardware

@@ -1,0 +1,29 @@
+(** Lowering software-visible gates to pulse schedules.
+
+    Per-vendor calibrations, mirroring the published control schemes:
+    - IBM: virtual-Z frame changes + DRAG X90 pulses (U1 = 1 frame
+      change, U2 = 1 pulse, U3 = 2 pulses), CNOT as an echoed
+      cross-resonance sequence on the coupling's control channel;
+    - Rigetti: frame changes + Gaussian X90s, CZ as a flat-top pulse on
+      the coupler;
+    - UMD: frame changes + constant Raman tones whose duration scales
+      with the rotation angle, XX as simultaneous bichromatic tones on
+      both ions.
+
+    Multi-qubit operations occupy the drive channels of *both* qubits so
+    that schedule-level ASAP packing respects gate dependencies; pulse
+    durations come from the machine's gate-time profile, so schedule
+    duration agrees with the gate-level duration model. Measures become
+    acquisition windows. *)
+
+(** [of_circuit machine circuit] lowers a hardware-level, software-visible
+    circuit to a timed schedule. Raises [Invalid_argument] on gates that
+    are not software-visible for the machine's interface. *)
+val of_circuit : Device.Machine.t -> Ir.Circuit.t -> Schedule.t
+
+(** [of_compiled compiled] lowers a compiled executable. *)
+val of_compiled : Triq.Compiled.t -> Schedule.t
+
+(** [readout_duration_ns machine] is the acquisition window length used
+    for the machine's technology. *)
+val readout_duration_ns : Device.Machine.t -> float

@@ -1,0 +1,107 @@
+type channel = Drive of int | Control of int * int | Acquire_ch of int
+
+type instruction =
+  | Play of Waveform.t
+  | Frame_change of float
+  | Acquire of { duration_ns : float }
+  | Busy of { duration_ns : float }
+
+type entry = { start_ns : float; channel : channel; instruction : instruction }
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+let normalize_channel = function
+  | Control (a, b) when a > b -> Control (b, a)
+  | other -> other
+
+let instruction_duration = function
+  | Play w -> w.Waveform.duration_ns
+  | Frame_change _ -> 0.0
+  | Acquire { duration_ns } | Busy { duration_ns } -> duration_ns
+
+let entry_end e = e.start_ns +. instruction_duration e.instruction
+
+let duration_ns t = List.fold_left (fun acc e -> Float.max acc (entry_end e)) 0.0 t.entries
+
+let channel_free_at t channel =
+  let channel = normalize_channel channel in
+  List.fold_left
+    (fun acc e -> if e.channel = channel then Float.max acc (entry_end e) else acc)
+    0.0 t.entries
+
+let append t ~channels instruction =
+  if channels = [] then invalid_arg "Schedule.append: no channels";
+  let channels = List.map normalize_channel channels in
+  let start =
+    List.fold_left (fun acc ch -> Float.max acc (channel_free_at t ch)) 0.0 channels
+  in
+  (* Only the first channel carries the instruction itself; the remaining
+     channels are blocked for its duration so ASAP packing respects the
+     dependency, without double-counting pulses. *)
+  let duration = instruction_duration instruction in
+  let new_entries =
+    List.mapi
+      (fun i channel ->
+        let instruction =
+          if i = 0 || duration = 0.0 then instruction
+          else Busy { duration_ns = duration }
+        in
+        { start_ns = start; channel; instruction })
+      channels
+  in
+  ({ entries = t.entries @ new_entries }, start)
+
+let entries t =
+  List.stable_sort (fun a b -> Float.compare a.start_ns b.start_ns) t.entries
+
+let play_count t =
+  List.length
+    (List.filter (fun e -> match e.instruction with Play _ -> true | _ -> false) t.entries)
+
+let frame_change_count t =
+  List.length
+    (List.filter
+       (fun e -> match e.instruction with Frame_change _ -> true | _ -> false)
+       t.entries)
+
+let no_overlap t =
+  let by_channel = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      (* Zero-duration frame changes cannot conflict with anything. *)
+      if instruction_duration e.instruction > 0.0 then begin
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_channel e.channel) in
+        Hashtbl.replace by_channel e.channel (e :: cur)
+      end)
+    t.entries;
+  Hashtbl.fold
+    (fun _ es acc ->
+      acc
+      &&
+      let sorted = List.sort (fun a b -> Float.compare a.start_ns b.start_ns) es in
+      let rec check = function
+        | a :: (b :: _ as rest) -> entry_end a <= b.start_ns +. 1e-9 && check rest
+        | [ _ ] | [] -> true
+      in
+      check sorted)
+    by_channel true
+
+let pp_channel fmt = function
+  | Drive q -> Format.fprintf fmt "d%d" q
+  | Control (a, b) -> Format.fprintf fmt "u%d_%d" a b
+  | Acquire_ch q -> Format.fprintf fmt "m%d" q
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%8.1f  %-6s " e.start_ns
+        (Format.asprintf "%a" pp_channel e.channel);
+      (match e.instruction with
+      | Play w -> Waveform.pp fmt w
+      | Frame_change phase -> Format.fprintf fmt "fc(%.3f)" phase
+      | Acquire { duration_ns } -> Format.fprintf fmt "acquire(%.0fns)" duration_ns
+      | Busy { duration_ns } -> Format.fprintf fmt "busy(%.0fns)" duration_ns);
+      Format.fprintf fmt "@\n")
+    (entries t)

@@ -1,0 +1,59 @@
+(** Timed pulse schedules.
+
+    A schedule assigns instructions to channels at explicit start times.
+    Channels: per-qubit drive lines, per-coupling control lines (cross
+    resonance / CZ flux / Ising bichromatic tones) and per-qubit
+    acquisition. Frame changes are the zero-duration, error-free
+    implementation of virtual-Z rotations. *)
+
+type channel =
+  | Drive of int  (** single-qubit drive line *)
+  | Control of int * int  (** two-qubit interaction line, normalized pair *)
+  | Acquire_ch of int  (** readout line *)
+
+type instruction =
+  | Play of Waveform.t
+  | Frame_change of float  (** virtual-Z phase advance, radians *)
+  | Acquire of { duration_ns : float }
+  | Busy of { duration_ns : float }
+      (** channel blocked by an instruction playing on another channel of
+          the same multi-channel operation *)
+
+type entry = { start_ns : float; channel : channel; instruction : instruction }
+
+type t = private { entries : entry list (* sorted by start time *) }
+
+val empty : t
+
+(** [duration_ns t] is the end time of the latest instruction. *)
+val duration_ns : t -> float
+
+(** [instruction_duration i] is 0 for frame changes. *)
+val instruction_duration : instruction -> float
+
+(** [channel_free_at t channel] is the earliest time at which [channel]
+    has no pending instruction. *)
+val channel_free_at : t -> channel -> float
+
+(** [append t ~channels instruction] schedules [instruction] ASAP on the
+    first channel and a same-duration [Busy] marker on the rest (so the
+    channels start together at the max of their free times), returning
+    the new schedule and the start time. *)
+val append : t -> channels:channel list -> instruction -> t * float
+
+(** [entries t] in start-time order. *)
+val entries : t -> entry list
+
+(** [play_count t] counts [Play] instructions (physical pulses). *)
+val play_count : t -> int
+
+(** [frame_change_count t] counts virtual-Z frame updates. *)
+val frame_change_count : t -> int
+
+(** [no_overlap t] checks that no two instructions overlap on the same
+    channel — the defining well-formedness property, qcheck-tested. *)
+val no_overlap : t -> bool
+
+val normalize_channel : channel -> channel
+val pp_channel : Format.formatter -> channel -> unit
+val pp : Format.formatter -> t -> unit

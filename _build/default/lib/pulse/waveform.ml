@@ -1,0 +1,69 @@
+type shape =
+  | Gaussian of { sigma_ns : float }
+  | Gaussian_square of { sigma_ns : float; width_ns : float }
+  | Drag of { sigma_ns : float; beta : float }
+  | Constant
+
+type t = {
+  name : string;
+  shape : shape;
+  duration_ns : float;
+  amplitude : float;
+  phase : float;
+}
+
+let create ~name ~shape ~duration_ns ~amplitude ~phase =
+  if duration_ns <= 0.0 then invalid_arg "Waveform.create: non-positive duration";
+  if amplitude < 0.0 || amplitude > 1.0 then
+    invalid_arg "Waveform.create: amplitude out of [0, 1]";
+  (match shape with
+  | Gaussian { sigma_ns } | Drag { sigma_ns; _ } ->
+    if sigma_ns <= 0.0 then invalid_arg "Waveform.create: non-positive sigma"
+  | Gaussian_square { sigma_ns; width_ns } ->
+    if sigma_ns <= 0.0 then invalid_arg "Waveform.create: non-positive sigma";
+    if width_ns < 0.0 || width_ns > duration_ns then
+      invalid_arg "Waveform.create: flat width out of range"
+  | Constant -> ());
+  { name; shape; duration_ns; amplitude; phase }
+
+let gaussian_envelope centre sigma time = exp (-.((time -. centre) ** 2.0) /. (2.0 *. sigma *. sigma))
+
+let sample t time_ns =
+  if time_ns < 0.0 || time_ns > t.duration_ns then 0.0
+  else begin
+    let envelope =
+      match t.shape with
+      | Gaussian { sigma_ns } -> gaussian_envelope (t.duration_ns /. 2.0) sigma_ns time_ns
+      | Drag { sigma_ns; beta = _ } ->
+        (* The in-phase component; the derivative quadrature only matters
+           for leakage modeling, which we do not simulate. *)
+        gaussian_envelope (t.duration_ns /. 2.0) sigma_ns time_ns
+      | Gaussian_square { sigma_ns; width_ns } ->
+        let rise = (t.duration_ns -. width_ns) /. 2.0 in
+        if time_ns < rise then gaussian_envelope rise sigma_ns time_ns
+        else if time_ns > rise +. width_ns then
+          gaussian_envelope (rise +. width_ns) sigma_ns time_ns
+        else 1.0
+      | Constant -> 1.0
+    in
+    t.amplitude *. envelope
+  end
+
+let area t =
+  let steps = max 1 (int_of_float t.duration_ns) in
+  let dt = t.duration_ns /. float_of_int steps in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    acc := !acc +. (sample t ((float_of_int i +. 0.5) *. dt) *. dt)
+  done;
+  !acc
+
+let shape_name = function
+  | Gaussian _ -> "gaussian"
+  | Gaussian_square _ -> "gaussian_square"
+  | Drag _ -> "drag"
+  | Constant -> "constant"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s, %.0fns, amp %.3f, ph %.3f)" t.name (shape_name t.shape)
+    t.duration_ns t.amplitude t.phase

@@ -1,0 +1,44 @@
+(** Pulse envelopes.
+
+    Section 7 of the paper argues the next step after software-visible
+    gates is software-visible *pulses* (IBM's OpenPulse announcement,
+    "akin to making micro-operations software-visible"). This library
+    models that layer: a waveform is a complex-amplitude envelope played
+    for a duration on a channel.
+
+    Durations are in nanoseconds; amplitudes are dimensionless in
+    [0, 1]. *)
+
+type shape =
+  | Gaussian of { sigma_ns : float }
+      (** standard single-qubit drive envelope *)
+  | Gaussian_square of { sigma_ns : float; width_ns : float }
+      (** flat-top pulse with Gaussian rise/fall (cross resonance, CZ) *)
+  | Drag of { sigma_ns : float; beta : float }
+      (** derivative-corrected Gaussian suppressing leakage *)
+  | Constant
+      (** rectangular envelope (long trapped-ion Raman tones) *)
+
+type t = private {
+  name : string;
+  shape : shape;
+  duration_ns : float;
+  amplitude : float;  (** peak amplitude in [0, 1] *)
+  phase : float;  (** carrier phase offset, radians *)
+}
+
+(** [create ~name ~shape ~duration_ns ~amplitude ~phase] validates
+    duration > 0 and 0 <= amplitude <= 1. *)
+val create :
+  name:string -> shape:shape -> duration_ns:float -> amplitude:float -> phase:float -> t
+
+(** [sample t time_ns] is the envelope amplitude at [time_ns] from pulse
+    start (0 outside [0, duration]). *)
+val sample : t -> float -> float
+
+(** [area t] is the integrated envelope (numerically, 1 ns steps) — the
+    rotation angle a resonant drive of this envelope imparts is
+    proportional to it. *)
+val area : t -> float
+
+val pp : Format.formatter -> t -> unit

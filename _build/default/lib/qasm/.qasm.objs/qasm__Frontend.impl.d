@@ -1,0 +1,1 @@
+lib/qasm/frontend.ml: Array Float Fun Ir List Printf String

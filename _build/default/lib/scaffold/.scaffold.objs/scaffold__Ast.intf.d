@@ -1,0 +1,1 @@
+lib/scaffold/ast.mli:

@@ -1,0 +1,1 @@
+lib/scaffold/lexer.ml: List Printf String Token

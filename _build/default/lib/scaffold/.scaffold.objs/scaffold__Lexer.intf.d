@@ -1,0 +1,1 @@
+lib/scaffold/lexer.mli: Token

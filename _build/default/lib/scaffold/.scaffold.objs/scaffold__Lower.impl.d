@@ -1,0 +1,1 @@
+lib/scaffold/lower.ml: Array Ast Float Fun Ir List Parser Printf

@@ -1,0 +1,1 @@
+lib/scaffold/lower.mli: Ast Ir

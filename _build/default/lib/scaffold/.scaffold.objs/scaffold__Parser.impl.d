@@ -1,0 +1,1 @@
+lib/scaffold/parser.ml: Ast Hashtbl Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/scaffold/parser.mli: Ast

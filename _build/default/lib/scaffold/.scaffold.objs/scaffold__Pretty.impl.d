@@ -1,0 +1,1 @@
+lib/scaffold/pretty.ml: Ast Float List Printf String

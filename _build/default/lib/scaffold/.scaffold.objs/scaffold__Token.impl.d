@@ -1,0 +1,1 @@
+lib/scaffold/token.ml: Format Printf

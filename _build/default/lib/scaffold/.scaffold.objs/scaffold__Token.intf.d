@@ -1,0 +1,1 @@
+lib/scaffold/token.mli: Format

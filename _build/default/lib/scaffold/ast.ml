@@ -1,0 +1,42 @@
+(** Abstract syntax of the Scaffold-like language.
+
+    A program is a single [module main() { ... }] containing qubit
+    register declarations, gate applications, constant-bound [for] loops
+    and measurements. Integer expressions index registers and drive
+    loops; float expressions (with [pi]) parameterize rotations. *)
+
+type int_expr =
+  | Int_lit of int
+  | Var of string  (** loop variable *)
+  | Binop of binop * int_expr * int_expr
+
+and binop = Add | Sub | Mul | Div | Mod
+
+type float_expr =
+  | Float_lit of float
+  | Pi
+  | Of_int of int_expr
+  | Fneg of float_expr
+  | Fbinop of fbinop * float_expr * float_expr
+
+and fbinop = Fadd | Fsub | Fmul | Fdiv
+
+(** A qubit reference: a register element [q[i]] or a whole 1-qubit
+    register [q]. *)
+type qubit_ref = { register : string; index : int_expr option }
+
+type stmt =
+  | Decl of { name : string; size : int; line : int }
+  | Gate of { name : string; angles : float_expr list; qubits : qubit_ref list; line : int }
+  | For of { var : string; from_ : int_expr; to_ : int_expr; body : stmt list; line : int }
+      (** iterates var = from_ .. to_-1 (half-open, Rust style) *)
+  | Measure_stmt of { target : qubit_ref; line : int }
+  | Measure_all of { register : string; line : int }
+
+(** A module definition: [module name(qbit a, qbit b) { ... }]. Parameters
+    are scalar qubits bound at each call site; [main] takes none. *)
+type module_def = { name : string; params : string list; body : stmt list; line : int }
+
+(** A program is a set of module definitions; the one named [main] is the
+    entry point. Gate statements whose name matches a module are calls. *)
+type t = { modules : module_def list }

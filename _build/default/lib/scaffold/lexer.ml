@@ -1,0 +1,140 @@
+exception Error of string * int * int
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line, st.col))
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "module" -> Some Token.Kw_module
+  | "qbit" | "qreg" -> Some Token.Kw_qbit
+  | "cbit" | "creg" -> Some Token.Kw_cbit
+  | "for" -> Some Token.Kw_for
+  | "in" -> Some Token.Kw_in
+  | "measure" | "MeasZ" -> Some Token.Kw_measure
+  | "pi" | "PI" -> Some Token.Kw_pi
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error st "unterminated block comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let line = st.line and col = st.col in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    { Token.kind = Float (float_of_string text); line; col }
+  end
+  else begin
+    let text = String.sub st.src start (st.pos - start) in
+    { Token.kind = Int (int_of_string text); line; col }
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  let line = st.line and col = st.col in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let kind = match keyword text with Some k -> k | None -> Token.Ident text in
+  { Token.kind; line; col }
+
+let simple st kind =
+  let tok = { Token.kind; line = st.line; col = st.col } in
+  advance st;
+  tok
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  match peek st with
+  | None -> { Token.kind = Eof; line; col }
+  | Some c when is_digit c -> lex_number st
+  | Some c when is_ident_start c -> lex_ident st
+  | Some '(' -> simple st Lparen
+  | Some ')' -> simple st Rparen
+  | Some '{' -> simple st Lbrace
+  | Some '}' -> simple st Rbrace
+  | Some '[' -> simple st Lbracket
+  | Some ']' -> simple st Rbracket
+  | Some ',' -> simple st Comma
+  | Some ';' -> simple st Semicolon
+  | Some '+' -> simple st Plus
+  | Some '-' -> simple st Minus
+  | Some '*' -> simple st Star
+  | Some '/' -> simple st Slash
+  | Some '%' -> simple st Percent
+  | Some '.' when peek2 st = Some '.' ->
+    advance st;
+    advance st;
+    { Token.kind = Dotdot; line; col }
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec collect acc =
+    let tok = next_token st in
+    match tok.Token.kind with
+    | Eof -> List.rev (tok :: acc)
+    | _ -> collect (tok :: acc)
+  in
+  collect []

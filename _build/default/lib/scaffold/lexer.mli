@@ -1,0 +1,10 @@
+(** Hand-written lexer for the Scaffold-like language.
+
+    Supports line ([//]) and block ([/* */]) comments, decimal integers
+    and floats, identifiers, keywords and punctuation. *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] *)
+
+(** [tokenize source] is the token stream, terminated by [Eof]. *)
+val tokenize : string -> Token.t list

@@ -1,0 +1,25 @@
+(** Lowering from the Scaffold AST to the gate IR (the ScaffCC role).
+
+    Registers are laid out contiguously in declaration order; constant-
+    bound [for] loops are fully unrolled and classical expressions are
+    resolved at compile time (Scaffold programs are compiled for a fixed
+    input, Section 4.1). Gate names are resolved to IR gates, including
+    the multi-qubit conveniences (Toffoli/CCNOT, Fredkin/CSWAP). *)
+
+exception Error of string * int
+(** [Error (message, line)] *)
+
+type program = {
+  circuit : Ir.Circuit.t;
+  measured : int list;  (** program qubits in measurement-statement order *)
+  qubit_names : (string * int) list;  (** ["q[2]" -> 5] debug mapping *)
+}
+
+(** [lower ast] elaborates a parsed program. *)
+val lower : Ast.t -> program
+
+(** [compile_string source] parses and lowers in one step. *)
+val compile_string : string -> program
+
+(** [compile_file path] reads, parses and lowers a .scaffold file. *)
+val compile_file : string -> program

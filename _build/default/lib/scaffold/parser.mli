@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the Scaffold-like language. *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] *)
+
+(** [parse source] lexes and parses a full program. *)
+val parse : string -> Ast.t

@@ -1,0 +1,56 @@
+(* Fully parenthesized expressions: unambiguous under re-parsing without
+   needing a precedence-aware printer. *)
+let rec int_expr (e : Ast.int_expr) =
+  match e with
+  | Int_lit n -> string_of_int n
+  | Var v -> v
+  | Binop (op, a, b) ->
+    let sym =
+      match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    in
+    Printf.sprintf "(%s %s %s)" (int_expr a) sym (int_expr b)
+
+let rec float_expr (e : Ast.float_expr) =
+  match e with
+  | Float_lit f ->
+    (* Keep a decimal point so the lexer reads it back as a float. *)
+    if Float.is_integer f then Printf.sprintf "%.1f" f else Printf.sprintf "%.17g" f
+  | Pi -> "pi"
+  | Of_int ie -> int_expr ie
+  | Fneg f -> Printf.sprintf "(-%s)" (float_expr f)
+  | Fbinop (op, a, b) ->
+    let sym = match op with Fadd -> "+" | Fsub -> "-" | Fmul -> "*" | Fdiv -> "/" in
+    Printf.sprintf "(%s %s %s)" (float_expr a) sym (float_expr b)
+
+let qubit_ref (r : Ast.qubit_ref) =
+  match r.index with
+  | None -> r.register
+  | Some ie -> Printf.sprintf "%s[%s]" r.register (int_expr ie)
+
+let indent level = String.make (2 * level) ' '
+
+let rec stmt level (s : Ast.stmt) =
+  match s with
+  | Decl { name; size; _ } ->
+    if size = 1 then Printf.sprintf "%sqbit %s;" (indent level) name
+    else Printf.sprintf "%sqbit %s[%d];" (indent level) name size
+  | Gate { name; angles; qubits; _ } ->
+    let args = List.map float_expr angles @ List.map qubit_ref qubits in
+    Printf.sprintf "%s%s(%s);" (indent level) name (String.concat ", " args)
+  | For { var; from_; to_; body; _ } ->
+    Printf.sprintf "%sfor %s in %s..%s {\n%s\n%s}" (indent level) var (int_expr from_)
+      (int_expr to_)
+      (String.concat "\n" (List.map (stmt (level + 1)) body))
+      (indent level)
+  | Measure_stmt { target; _ } ->
+    Printf.sprintf "%smeasure(%s);" (indent level) (qubit_ref target)
+  | Measure_all { register; _ } ->
+    Printf.sprintf "%smeasure(%s);" (indent level) register
+
+let module_def (m : Ast.module_def) =
+  let params = String.concat ", " (List.map (fun p -> "qbit " ^ p) m.Ast.params) in
+  Printf.sprintf "module %s(%s) {\n%s\n}" m.Ast.name params
+    (String.concat "\n" (List.map (stmt 1) m.Ast.body))
+
+let program (ast : Ast.t) =
+  String.concat "\n\n" (List.map module_def ast.Ast.modules) ^ "\n"

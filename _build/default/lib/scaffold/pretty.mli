@@ -1,0 +1,10 @@
+(** Pretty-printing Scaffold ASTs back to concrete syntax.
+
+    [program ast] produces source text that parses back to an equivalent
+    program (round-trip checked by property tests) — used to emit
+    generated benchmarks as .scf files and to normalize user programs. *)
+
+val program : Ast.t -> string
+val stmt : int -> Ast.stmt -> string
+val int_expr : Ast.int_expr -> string
+val float_expr : Ast.float_expr -> string

@@ -1,0 +1,57 @@
+type kind =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_module
+  | Kw_qbit
+  | Kw_cbit
+  | Kw_for
+  | Kw_in
+  | Kw_measure
+  | Kw_pi
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Dotdot
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+let kind_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Float f -> Printf.sprintf "float %g" f
+  | Kw_module -> "'module'"
+  | Kw_qbit -> "'qbit'"
+  | Kw_cbit -> "'cbit'"
+  | Kw_for -> "'for'"
+  | Kw_in -> "'in'"
+  | Kw_measure -> "'measure'"
+  | Kw_pi -> "'pi'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Dotdot -> "'..'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Eof -> "end of input"
+
+let pp fmt t = Format.fprintf fmt "%s at %d:%d" (kind_name t.kind) t.line t.col

@@ -1,0 +1,34 @@
+(** Lexical tokens of the Scaffold-like input language, with source
+    positions for error reporting. *)
+
+type kind =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_module
+  | Kw_qbit
+  | Kw_cbit
+  | Kw_for
+  | Kw_in
+  | Kw_measure
+  | Kw_pi
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Dotdot
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/density.ml: Array Ir List Mathkit Statevector

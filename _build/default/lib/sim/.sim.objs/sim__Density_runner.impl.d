@@ -1,0 +1,1 @@
+lib/sim/density_runner.ml: Array Density Device Dist Ir List Noise Printf Triq

@@ -1,0 +1,1 @@
+lib/sim/density_runner.mli: Ir Triq

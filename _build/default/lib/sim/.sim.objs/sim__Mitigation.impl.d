@@ -1,0 +1,1 @@
+lib/sim/mitigation.ml: Array Device Dist Float Ir List Noise Runner String Triq

@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Device Ir Mathkit Option Statevector

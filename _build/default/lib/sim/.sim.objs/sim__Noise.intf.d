@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Device Ir Mathkit Statevector

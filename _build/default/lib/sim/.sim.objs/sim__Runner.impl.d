@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Device Dist Hashtbl Ir List Mathkit Noise Option Printf Statevector Triq

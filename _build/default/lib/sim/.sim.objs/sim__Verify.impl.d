@@ -1,0 +1,1 @@
+lib/sim/verify.ml: Dist Ir List Printf Runner Triq

@@ -1,0 +1,1 @@
+lib/sim/verify.mli: Ir Triq

@@ -1,0 +1,55 @@
+(** Exact density-matrix simulation.
+
+    The trajectory runner ({!Runner}) estimates noisy behaviour by Monte
+    Carlo; this backend computes it exactly on small systems by evolving
+    the full density matrix through unitaries and Kraus channels. The two
+    must agree (cross-validated in tests), which is the evidence that the
+    trajectory sampling faithfully implements the declared noise model.
+
+    The n-qubit density matrix is stored as a 2n-qubit amplitude vector
+    (row index bits then column index bits), so unitary conjugation
+    reuses the statevector kernels: U rho U+ applies U on the row qubit
+    and conj(U) on the matching column qubit. Practical up to ~8 qubits. *)
+
+type t
+
+(** [init n] is the pure state |0...0><0...0|. *)
+val init : int -> t
+
+val n_qubits : t -> int
+
+(** [apply_one t m q] conjugates by a 2x2 unitary on qubit [q]. *)
+val apply_one : t -> Mathkit.Matrix.t -> int -> unit
+
+(** [apply_two t m a b] conjugates by a 4x4 unitary on [(a, b)]. *)
+val apply_two : t -> Mathkit.Matrix.t -> int -> int -> unit
+
+(** [apply_gate t g] dispatches a non-measure IR gate. *)
+val apply_gate : t -> Ir.Gate.t -> unit
+
+(** [depolarize_one t p q] applies the one-qubit depolarizing channel
+    rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z). *)
+val depolarize_one : t -> float -> int -> unit
+
+(** [depolarize_two t p a b] applies the two-qubit channel mixing the 15
+    non-identity Pauli pairs uniformly with total weight [p] — exactly the
+    error the trajectory runner injects. *)
+val depolarize_two : t -> float -> int -> int -> unit
+
+(** [amplitude_damp t gamma q] applies T1 relaxation toward |0>. *)
+val amplitude_damp : t -> float -> int -> unit
+
+(** [dephase t p q] applies the phase-flip channel
+    rho -> (1-p) rho + p Z rho Z. *)
+val dephase : t -> float -> int -> unit
+
+(** [populations t] is the diagonal (the computational-basis measurement
+    distribution), length 2^n. *)
+val populations : t -> float array
+
+(** [trace t] is the trace (1 up to rounding for a valid state). *)
+val trace : t -> float
+
+(** [purity t] is Tr(rho^2): 1 for pure states, 1/2^n for the maximally
+    mixed state. *)
+val purity : t -> float

@@ -1,0 +1,83 @@
+module Machine = Device.Machine
+module Compiled = Triq.Compiled
+
+type outcome = {
+  distribution : (string * float) list;
+  success_rate : float;
+  purity : float;
+}
+
+let run ?(explicit_t1 = false) (compiled : Compiled.t) spec =
+  let hardware = compiled.Compiled.hardware in
+  let machine = compiled.Compiled.machine in
+  let calibration = Machine.calibration machine ~day:compiled.Compiled.day in
+  let noise = Noise.create machine calibration in
+  let used = Ir.Circuit.used_qubits hardware in
+  let k = List.length used in
+  if k = 0 then invalid_arg "Density_runner.run: empty circuit";
+  if k > 8 then invalid_arg "Density_runner.run: too many qubits for exact simulation";
+  let compact_of_hw = List.mapi (fun i q -> (q, i)) used in
+  let qubit_of h = List.assoc h compact_of_hw in
+  let rho = Density.init k in
+  List.iter
+    (fun g ->
+      match (g : Ir.Gate.t) with
+      | Measure _ -> ()
+      | One (kind, q) ->
+        let cq = qubit_of q in
+        Density.apply_one rho (Ir.Matrices.one_q kind) cq;
+        let p =
+          if explicit_t1 then Noise.gate_error_prob_raw noise g
+          else Noise.gate_error_prob noise g
+        in
+        if p > 0.0 then Density.depolarize_one rho p cq;
+        if explicit_t1 then begin
+          let gamma = Noise.relaxation_gamma noise g in
+          if gamma > 0.0 then Density.amplitude_damp rho gamma cq
+        end
+      | Two (kind, a, b) ->
+        let ca = qubit_of a and cb = qubit_of b in
+        Density.apply_two rho (Ir.Matrices.two_q kind) ca cb;
+        let p =
+          if explicit_t1 then Noise.gate_error_prob_raw noise g
+          else Noise.gate_error_prob noise g
+        in
+        if p > 0.0 then Density.depolarize_two rho p ca cb;
+        if explicit_t1 then begin
+          let gamma = Noise.relaxation_gamma noise g in
+          if gamma > 0.0 then begin
+            Density.amplitude_damp rho gamma ca;
+            Density.amplitude_damp rho gamma cb
+          end
+        end
+      | Ccx _ | Cswap _ -> invalid_arg "Density_runner.run: not hardware-level")
+    hardware.Ir.Circuit.gates;
+  let measured_program = spec.Ir.Spec.measured in
+  let compact_positions =
+    List.map
+      (fun p ->
+        match List.assoc_opt p compiled.Compiled.readout_map with
+        | Some hw -> qubit_of hw
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Density_runner.run: program qubit %d is not measured" p))
+      measured_program
+  in
+  let flip =
+    Array.of_list
+      (List.map
+         (fun p ->
+           Noise.readout_flip_prob noise (List.assoc p compiled.Compiled.readout_map))
+         measured_program)
+  in
+  let projected = Dist.project (Density.populations rho) k compact_positions in
+  let final = Dist.corrupt_readout projected flip in
+  let distribution = Dist.to_strings final in
+  (* Exact probabilities: score the spec against a high-resolution count
+     rendering so Spec's histogram API applies unchanged. *)
+  let counts = Dist.to_counts distribution 10_000_000 in
+  {
+    distribution;
+    success_rate = Ir.Spec.success_rate spec counts;
+    purity = Density.purity rho;
+  }

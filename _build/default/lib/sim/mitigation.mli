@@ -1,0 +1,26 @@
+(** Readout-error mitigation (an extension beyond the paper's pipeline).
+
+    Readout corruption is an independent per-bit flip channel whose
+    confusion matrix is known from calibration; applying its inverse to
+    the measured distribution recovers an unbiased estimate of the
+    pre-readout distribution — the standard "measurement error
+    mitigation" adopted by vendor toolflows after the paper. Inversion
+    can produce small negative quasi-probabilities on finite statistics;
+    they are clipped and the result renormalized. *)
+
+(** [correct ~flip dist] applies the inverse confusion transform;
+    [flip.(i)] is bit [i]'s flip probability (must be < 0.5). The input
+    distribution's bitstrings must share one length equal to
+    [Array.length flip]. *)
+val correct : flip:float array -> (string * float) list -> (string * float) list
+
+(** [mitigated_success ?seed ?trials ?trajectories compiled spec] runs the
+    trajectory engine, then scores the spec against the mitigated
+    distribution. Returns (raw success, mitigated success). *)
+val mitigated_success :
+  ?seed:int ->
+  ?trials:int ->
+  ?trajectories:int ->
+  Triq.Compiled.t ->
+  Ir.Spec.t ->
+  float * float

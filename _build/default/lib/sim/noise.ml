@@ -1,0 +1,98 @@
+module Machine = Device.Machine
+module Calibration = Device.Calibration
+module Gateset = Device.Gateset
+module Rng = Mathkit.Rng
+
+type t = { machine : Machine.t; calibration : Calibration.t }
+
+let create machine calibration = { machine; calibration }
+
+(* Fold gate infidelity with decoherence over the gate's duration:
+   p = 1 - (1 - err) * exp(-duration / T). For the trapped-ion machine the
+   second factor is negligible (T = 1.5s); for superconducting machines it
+   adds the coherence-limit contribution the paper discusses. *)
+let fold_decoherence profile err duration =
+  1.0 -. ((1.0 -. err) *. exp (-.duration /. profile.Calibration.coherence_us))
+
+let gate_error_prob t (g : Ir.Gate.t) =
+  let profile = t.machine.Machine.profile in
+  match g with
+  | One (k, q) ->
+    if Gateset.is_error_free t.machine.Machine.basis k then 0.0
+    else
+      fold_decoherence profile
+        (Calibration.one_q_err t.calibration q)
+        profile.Calibration.one_q_time_us
+  | Two (_, a, b) ->
+    fold_decoherence profile
+      (Calibration.two_q_err t.calibration a b)
+      profile.Calibration.two_q_time_us
+  | Measure _ -> 0.0
+  | Ccx _ | Cswap _ -> invalid_arg "Noise.gate_error_prob: not hardware-level"
+
+let gate_error_prob_raw t (g : Ir.Gate.t) =
+  match g with
+  | One (k, q) ->
+    if Gateset.is_error_free t.machine.Machine.basis k then 0.0
+    else Calibration.one_q_err t.calibration q
+  | Two (_, a, b) -> Calibration.two_q_err t.calibration a b
+  | Measure _ -> 0.0
+  | Ccx _ | Cswap _ -> invalid_arg "Noise.gate_error_prob_raw: not hardware-level"
+
+let relaxation_gamma t (g : Ir.Gate.t) =
+  let profile = t.machine.Machine.profile in
+  let duration =
+    match g with
+    | One (k, _) ->
+      if Gateset.is_error_free t.machine.Machine.basis k then 0.0
+      else profile.Calibration.one_q_time_us
+    | Two _ -> profile.Calibration.two_q_time_us
+    | Measure _ -> 0.0
+    | Ccx _ | Cswap _ -> invalid_arg "Noise.relaxation_gamma: not hardware-level"
+  in
+  if duration = 0.0 then 0.0
+  else 1.0 -. exp (-.duration /. profile.Calibration.coherence_us)
+
+let readout_flip_prob t q = Calibration.readout_err t.calibration q
+
+let random_pauli_one rng : Ir.Gate.one_q =
+  match Rng.int rng 3 with 0 -> X | 1 -> Y | _ -> Z
+
+let apply_pauli state rng q =
+  Statevector.apply_one state (Ir.Matrices.one_q (random_pauli_one rng)) q
+
+let inject t rng (g : Ir.Gate.t) state ~qubit_of =
+  match g with
+  | Measure _ -> false
+  | One (k, q) ->
+    let sq = qubit_of q in
+    Statevector.apply_one state (Ir.Matrices.one_q k) sq;
+    let p = gate_error_prob t g in
+    if p > 0.0 && Rng.bool rng p then begin
+      apply_pauli state rng sq;
+      true
+    end
+    else false
+  | Two (k, a, b) ->
+    let sa = qubit_of a and sb = qubit_of b in
+    Statevector.apply_two state (Ir.Matrices.two_q k) sa sb;
+    let p = gate_error_prob t g in
+    if p > 0.0 && Rng.bool rng p then begin
+      (* Uniform non-identity two-qubit Pauli: draw until not (I, I). *)
+      let rec draw () =
+        let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
+        if pa = 0 && pb = 0 then draw () else (pa, pb)
+      in
+      let pa, pb = draw () in
+      let pauli = function
+        | 1 -> Some Ir.Gate.X
+        | 2 -> Some Ir.Gate.Y
+        | 3 -> Some Ir.Gate.Z
+        | _ -> None
+      in
+      Option.iter (fun p -> Statevector.apply_one state (Ir.Matrices.one_q p) sa) (pauli pa);
+      Option.iter (fun p -> Statevector.apply_one state (Ir.Matrices.one_q p) sb) (pauli pb);
+      true
+    end
+    else false
+  | Ccx _ | Cswap _ -> invalid_arg "Noise.inject: not hardware-level"

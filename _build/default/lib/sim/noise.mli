@@ -1,0 +1,42 @@
+(** Noise model driven by calibration data.
+
+    Every physical gate fails independently with its calibrated error
+    probability (folded with a decoherence term for the gate's duration
+    relative to the machine's coherence time); a failure injects a uniform
+    random non-identity Pauli on the gate's qubits after the ideal gate —
+    the standard depolarizing trajectory model. Virtual-Z gates are
+    error-free on all three vendors. Readout errors flip each measured bit
+    independently with the qubit's calibrated readout error. *)
+
+type t
+
+(** [create machine calibration] builds the model for one calibration
+    snapshot. *)
+val create : Device.Machine.t -> Device.Calibration.t -> t
+
+(** [gate_error_prob t g] is the failure probability of a hardware-level,
+    software-visible gate ([Measure] returns 0 — readout is separate). *)
+val gate_error_prob : t -> Ir.Gate.t -> float
+
+(** [gate_error_prob_raw t g] is the calibrated error alone, without the
+    decoherence fold — used when relaxation is modelled explicitly. *)
+val gate_error_prob_raw : t -> Ir.Gate.t -> float
+
+(** [relaxation_gamma t g] is the per-qubit T1 decay probability over the
+    gate's duration: 1 - exp(-duration / T). *)
+val relaxation_gamma : t -> Ir.Gate.t -> float
+
+(** [readout_flip_prob t q] is the probability that reading hardware qubit
+    [q] returns the wrong bit. *)
+val readout_flip_prob : t -> int -> float
+
+(** [random_pauli_one rng] picks X, Y or Z uniformly. *)
+val random_pauli_one : Mathkit.Rng.t -> Ir.Gate.one_q
+
+(** [inject t rng g state ~qubit_of] applies the ideal gate [g] to [state]
+    and, with probability [gate_error_prob t g], follows it with a random
+    Pauli error. [qubit_of] maps the gate's hardware qubit numbers to
+    state indices (the runner simulates compacted circuits). Measures are
+    ignored. Returns [true] when an error was injected. *)
+val inject :
+  t -> Mathkit.Rng.t -> Ir.Gate.t -> Statevector.t -> qubit_of:(int -> int) -> bool

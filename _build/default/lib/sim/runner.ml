@@ -1,0 +1,187 @@
+module Rng = Mathkit.Rng
+module Machine = Device.Machine
+module Compiled = Triq.Compiled
+
+type outcome = {
+  distribution : (string * float) list;
+  counts : (string * int) list;
+  success_rate : float;
+  dominant_correct : bool;
+  trials : int;
+  trajectories : int;
+}
+
+let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
+    ?(sample_counts = false) ?(explicit_t1 = false) compiled spec =
+  let hardware = compiled.Compiled.hardware in
+  let machine = compiled.Compiled.machine in
+  (* [day] overrides the calibration the executable runs under — by default
+     the one it was compiled against; passing a later day models running a
+     stale executable after the machine drifted. *)
+  let day = Option.value ~default:compiled.Compiled.day day in
+  let calibration = Machine.calibration machine ~day in
+  let noise = Noise.create machine calibration in
+  (* Simulate only the qubits the hardware circuit touches. *)
+  let used = Ir.Circuit.used_qubits hardware in
+  let k = List.length used in
+  if k = 0 then invalid_arg "Runner.run: empty circuit";
+  if k > 20 then invalid_arg "Runner.run: circuit touches too many qubits to simulate";
+  let compact_of_hw = List.mapi (fun i q -> (q, i)) used in
+  let qubit_of h = List.assoc h compact_of_hw in
+  (* Per-gate precomputation: matrices, compact operands, error probs. *)
+  let body =
+    List.filter (fun g -> not (Ir.Gate.is_measure g)) hardware.Ir.Circuit.gates
+  in
+  let prepared =
+    List.map
+      (fun g ->
+        (* With explicit T1 the decoherence contribution is modelled as a
+           relaxation channel rather than folded into the Pauli error. *)
+        let p =
+          if explicit_t1 then Noise.gate_error_prob_raw noise g
+          else Noise.gate_error_prob noise g
+        in
+        let gamma = if explicit_t1 then Noise.relaxation_gamma noise g else 0.0 in
+        match (g : Ir.Gate.t) with
+        | One (kind, q) -> `One (Ir.Matrices.one_q kind, qubit_of q, p, gamma)
+        | Two (kind, a, b) ->
+          `Two (Ir.Matrices.two_q kind, qubit_of a, qubit_of b, p, gamma)
+        | Measure _ | Ccx _ | Cswap _ -> assert false)
+      body
+  in
+  let pauli = [| Ir.Matrices.one_q X; Ir.Matrices.one_q Y; Ir.Matrices.one_q Z |] in
+  let rng = Rng.create seed in
+  (* Sample the error pattern first: clean trajectories (the common case on
+     good mappings) reuse the cached ideal output without re-simulating. *)
+  let sample_error_flags () =
+    let any = ref false in
+    let flags =
+      List.map
+        (fun instr ->
+          let p = match instr with `One (_, _, p, _) | `Two (_, _, _, p, _) -> p in
+          let e = p > 0.0 && Rng.bool rng p in
+          if e then any := true;
+          e)
+        prepared
+    in
+    (flags, !any)
+  in
+  let run_trajectory flags =
+    let state = Statevector.init k in
+    List.iter2
+      (fun instr erred ->
+        match instr with
+        | `One (m, q, _, gamma) ->
+          Statevector.apply_one state m q;
+          if erred then Statevector.apply_one state pauli.(Rng.int rng 3) q;
+          if gamma > 0.0 then ignore (Statevector.relax state q ~gamma rng)
+        | `Two (m, a, b, _, gamma) ->
+          Statevector.apply_two state m a b;
+          if erred then begin
+            let rec draw () =
+              let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
+              if pa = 0 && pb = 0 then draw () else (pa, pb)
+            in
+            let pa, pb = draw () in
+            if pa > 0 then Statevector.apply_one state pauli.(pa - 1) a;
+            if pb > 0 then Statevector.apply_one state pauli.(pb - 1) b
+          end;
+          if gamma > 0.0 then begin
+            ignore (Statevector.relax state a ~gamma rng);
+            ignore (Statevector.relax state b ~gamma rng)
+          end)
+      prepared flags;
+    state
+  in
+  (* Clean trajectories all coincide: compute the ideal output once and
+     reuse it whenever the sampled error pattern is empty. *)
+  let ideal_state = Statevector.init k in
+  List.iter
+    (fun instr ->
+      match instr with
+      | `One (m, q, _, _) -> Statevector.apply_one ideal_state m q
+      | `Two (m, a, b, _, _) -> Statevector.apply_two ideal_state m a b)
+    prepared;
+  let ideal_probs = Statevector.probabilities ideal_state in
+  let dim = 1 lsl k in
+  let avg = Array.make dim 0.0 in
+  for _ = 1 to trajectories do
+    let probs =
+      let flags, any = sample_error_flags () in
+      (* Explicit relaxation is stochastic in every trajectory, so the
+         clean-trajectory shortcut only applies without it. *)
+      if (not any) && not explicit_t1 then ideal_probs
+      else Statevector.probabilities (run_trajectory flags)
+    in
+    for i = 0 to dim - 1 do
+      avg.(i) <- avg.(i) +. probs.(i)
+    done
+  done;
+  for i = 0 to dim - 1 do
+    avg.(i) <- avg.(i) /. float_of_int trajectories
+  done;
+  (* Readout: program qubits in spec order -> hardware -> compact. *)
+  let measured_program = spec.Ir.Spec.measured in
+  let compact_positions =
+    List.map
+      (fun p ->
+        match List.assoc_opt p compiled.Compiled.readout_map with
+        | Some hw -> qubit_of hw
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Runner.run: program qubit %d is not measured" p))
+      measured_program
+  in
+  let flip =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let hw = List.assoc p compiled.Compiled.readout_map in
+           Noise.readout_flip_prob noise hw)
+         measured_program)
+  in
+  let projected = Dist.project avg k compact_positions in
+  let final = Dist.corrupt_readout projected flip in
+  let distribution = Dist.to_strings final in
+  let counts =
+    if sample_counts then begin
+      (* Realistic multinomial shot noise instead of deterministic
+         largest-remainder rounding. *)
+      let table = Hashtbl.create 16 in
+      let outcomes = Array.of_list distribution in
+      let cumulative =
+        let acc = ref 0.0 in
+        Array.map
+          (fun (_, p) ->
+            acc := !acc +. p;
+            !acc)
+          outcomes
+      in
+      let total = cumulative.(Array.length cumulative - 1) in
+      for _ = 1 to trials do
+        let r = Rng.float rng *. total in
+        let rec find i =
+          if i >= Array.length cumulative - 1 || cumulative.(i) >= r then i
+          else find (i + 1)
+        in
+        let bits, _ = outcomes.(find 0) in
+        Hashtbl.replace table bits (1 + Option.value ~default:0 (Hashtbl.find_opt table bits))
+      done;
+      Hashtbl.fold (fun bits n acc -> (bits, n) :: acc) table []
+      |> List.sort (fun (_, n1) (_, n2) -> compare n2 n1)
+    end
+    else Dist.to_counts distribution trials
+  in
+  {
+    distribution;
+    counts;
+    success_rate = Ir.Spec.success_rate spec counts;
+    dominant_correct = Ir.Spec.dominates spec counts;
+    trials;
+    trajectories;
+  }
+
+let ideal_distribution (circuit : Ir.Circuit.t) ~measured =
+  let state = Statevector.run circuit in
+  let k = circuit.Ir.Circuit.n_qubits in
+  Dist.to_strings (Dist.project (Statevector.probabilities state) k measured)

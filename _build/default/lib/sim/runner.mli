@@ -1,0 +1,56 @@
+(** Execute compiled programs under noise and score them the way the paper
+    does.
+
+    A run Monte-Carlo-samples error trajectories of the compiled hardware
+    circuit (each physical gate fails with its calibrated probability and
+    injects a random Pauli), averages the resulting output distributions,
+    corrupts them with per-qubit readout error analytically, and reports
+    the success rate: the probability mass on the correct answer, i.e. the
+    expected fraction of repeated trials returning it. Counts are derived
+    from the distribution at the requested trial count (8192 for
+    superconducting machines and 5000 for UMDTI in the paper).
+
+    Only the qubits the circuit actually touches are simulated, so a
+    5-qubit benchmark mapped onto a 16-qubit device stays cheap. *)
+
+type outcome = {
+  distribution : (string * float) list;
+      (** readout-corrupted distribution over the program's measured bits,
+          descending probability, truncated below 1e-6 *)
+  counts : (string * int) list;  (** distribution scaled to [trials] shots *)
+  success_rate : float;
+  dominant_correct : bool;
+      (** whether the expected answer is the mode — the paper's zero-height
+          bars are runs where it is not *)
+  trials : int;
+  trajectories : int;
+}
+
+(** [run ?seed ?trials ?trajectories ?day compiled spec] executes a
+    compiled program against its specification. [spec.measured] must list
+    exactly the program qubits the compiled circuit reads out. [day]
+    selects the calibration the run happens under (default: the day the
+    executable was compiled against — pass a later day to model a stale
+    executable on a drifted machine). [sample_counts] draws the counts as
+    a true multinomial sample (realistic shot noise) instead of the
+    default deterministic largest-remainder rendering. [explicit_t1]
+    models decoherence as an amplitude-damping channel (quantum-jump
+    trajectories) instead of folding it into the depolarizing
+    probability — cross-validated against the exact backend. Defaults:
+    [seed 0xC0FFEE], [trials 8192], [trajectories 300]. *)
+val run :
+  ?seed:int ->
+  ?trials:int ->
+  ?trajectories:int ->
+  ?day:int ->
+  ?sample_counts:bool ->
+  ?explicit_t1:bool ->
+  Triq.Compiled.t ->
+  Ir.Spec.t ->
+  outcome
+
+(** [ideal_distribution circuit ~measured] is the noiseless output
+    distribution of a *program-level* circuit over the given measured
+    qubits (bitstring order = [measured] order) — used to build
+    specifications and as a test oracle. *)
+val ideal_distribution : Ir.Circuit.t -> measured:int list -> (string * float) list

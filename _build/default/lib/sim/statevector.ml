@@ -1,0 +1,205 @@
+module M = Mathkit.Matrix
+
+type t = { n : int; re : float array; im : float array }
+
+let init n =
+  if n < 1 || n > 24 then invalid_arg "Statevector.init: n out of range";
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let n_qubits t = t.n
+
+let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+
+let amplitude t i = Mathkit.Cplx.make t.re.(i) t.im.(i)
+
+let probability t i = (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+
+let probabilities t = Array.init (1 lsl t.n) (probability t)
+
+let norm2 t =
+  let acc = ref 0.0 in
+  for i = 0 to (1 lsl t.n) - 1 do
+    acc := !acc +. probability t i
+  done;
+  !acc
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "Statevector: qubit out of range"
+
+let apply_one t m q =
+  check_qubit t q;
+  if M.rows m <> 2 || M.cols m <> 2 then invalid_arg "Statevector.apply_one: not 2x2";
+  let g r c = M.get m r c in
+  let a00 = g 0 0 and a01 = g 0 1 and a10 = g 1 0 and a11 = g 1 1 in
+  let r00 = a00.re and i00 = a00.im and r01 = a01.re and i01 = a01.im in
+  let r10 = a10.re and i10 = a10.im and r11 = a11.re and i11 = a11.im in
+  let dim = 1 lsl t.n in
+  let stride = 1 lsl (t.n - 1 - q) in
+  let re = t.re and im = t.im in
+  let idx = ref 0 in
+  while !idx < dim do
+    (* Iterate over indices whose q-bit is 0 within each block. *)
+    let block_end = !idx + stride in
+    while !idx < block_end do
+      let i0 = !idx in
+      let i1 = i0 + stride in
+      let xr = re.(i0) and xi = im.(i0) and yr = re.(i1) and yi = im.(i1) in
+      re.(i0) <- (r00 *. xr) -. (i00 *. xi) +. (r01 *. yr) -. (i01 *. yi);
+      im.(i0) <- (r00 *. xi) +. (i00 *. xr) +. (r01 *. yi) +. (i01 *. yr);
+      re.(i1) <- (r10 *. xr) -. (i10 *. xi) +. (r11 *. yr) -. (i11 *. yi);
+      im.(i1) <- (r10 *. xi) +. (i10 *. xr) +. (r11 *. yi) +. (i11 *. yr);
+      incr idx
+    done;
+    idx := !idx + stride
+  done
+
+let apply_two t m a b =
+  check_qubit t a;
+  check_qubit t b;
+  if a = b then invalid_arg "Statevector.apply_two: identical qubits";
+  if M.rows m <> 4 || M.cols m <> 4 then invalid_arg "Statevector.apply_two: not 4x4";
+  let mr = Array.init 16 (fun k -> (M.get m (k / 4) (k mod 4)).re) in
+  let mi = Array.init 16 (fun k -> (M.get m (k / 4) (k mod 4)).im) in
+  let dim = 1 lsl t.n in
+  let sa = 1 lsl (t.n - 1 - a) and sb = 1 lsl (t.n - 1 - b) in
+  let re = t.re and im = t.im in
+  let xr = Array.make 4 0.0 and xi = Array.make 4 0.0 in
+  let indices = Array.make 4 0 in
+  for base = 0 to dim - 1 do
+    (* Process each group once, from its representative with both bits 0. *)
+    if base land sa = 0 && base land sb = 0 then begin
+      indices.(0) <- base;
+      indices.(1) <- base lor sb;
+      indices.(2) <- base lor sa;
+      indices.(3) <- base lor sa lor sb;
+      for k = 0 to 3 do
+        xr.(k) <- re.(indices.(k));
+        xi.(k) <- im.(indices.(k))
+      done;
+      for r = 0 to 3 do
+        let accr = ref 0.0 and acci = ref 0.0 in
+        for c = 0 to 3 do
+          let k = (r * 4) + c in
+          accr := !accr +. (mr.(k) *. xr.(c)) -. (mi.(k) *. xi.(c));
+          acci := !acci +. (mr.(k) *. xi.(c)) +. (mi.(k) *. xr.(c))
+        done;
+        re.(indices.(r)) <- !accr;
+        im.(indices.(r)) <- !acci
+      done
+    end
+  done
+
+let rec apply_gate t (g : Ir.Gate.t) =
+  match g with
+  | One (k, q) -> apply_one t (Ir.Matrices.one_q k) q
+  | Two (k, a, b) -> apply_two t (Ir.Matrices.two_q k) a b
+  | Ccx (a, b, c) ->
+    (* Phase-free permutation: apply via its decomposition on the state. *)
+    List.iter (apply_gate t) (Ir.Decompose.ccx a b c)
+  | Cswap (a, b, c) -> List.iter (apply_gate t) (Ir.Decompose.cswap a b c)
+  | Measure _ -> invalid_arg "Statevector.apply_gate: Measure"
+
+let run (c : Ir.Circuit.t) =
+  let t = init c.Ir.Circuit.n_qubits in
+  List.iter
+    (fun g -> if not (Ir.Gate.is_measure g) then apply_gate t g)
+    c.Ir.Circuit.gates;
+  t
+
+let sample t rng =
+  let target = Mathkit.Rng.float rng *. norm2 t in
+  let dim = 1 lsl t.n in
+  let rec scan i acc =
+    if i >= dim - 1 then i
+    else begin
+      let acc = acc +. probability t i in
+      if acc >= target then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.0
+
+let scale t c =
+  for i = 0 to (1 lsl t.n) - 1 do
+    t.re.(i) <- c *. t.re.(i);
+    t.im.(i) <- c *. t.im.(i)
+  done
+
+let add_scaled dst c src =
+  if dst.n <> src.n then invalid_arg "Statevector.add_scaled: size mismatch";
+  for i = 0 to (1 lsl dst.n) - 1 do
+    dst.re.(i) <- dst.re.(i) +. (c *. src.re.(i));
+    dst.im.(i) <- dst.im.(i) +. (c *. src.im.(i))
+  done
+
+let zero_like t =
+  { n = t.n; re = Array.make (1 lsl t.n) 0.0; im = Array.make (1 lsl t.n) 0.0 }
+
+let excited_population t q =
+  check_qubit t q;
+  let stride = 1 lsl (t.n - 1 - q) in
+  let dim = 1 lsl t.n in
+  let acc = ref 0.0 in
+  let idx = ref 0 in
+  while !idx < dim do
+    let block_end = !idx + stride in
+    while !idx < block_end do
+      let i1 = !idx + stride in
+      acc := !acc +. (t.re.(i1) *. t.re.(i1)) +. (t.im.(i1) *. t.im.(i1));
+      incr idx
+    done;
+    idx := !idx + stride
+  done;
+  !acc
+
+let relax t q ~gamma rng =
+  check_qubit t q;
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Statevector.relax: gamma";
+  if gamma = 0.0 then false
+  else begin
+    let p1 = excited_population t q in
+    let p_jump = gamma *. p1 in
+    let stride = 1 lsl (t.n - 1 - q) in
+    let dim = 1 lsl t.n in
+    if Mathkit.Rng.bool rng p_jump then begin
+      (* Jump: K1 = sqrt(gamma)|0><1|, then renormalize: the |1> amplitudes
+         move to |0> and the old |0> amplitudes vanish. *)
+      let norm = sqrt p1 in
+      let idx = ref 0 in
+      while !idx < dim do
+        let block_end = !idx + stride in
+        while !idx < block_end do
+          let i0 = !idx and i1 = !idx + stride in
+          t.re.(i0) <- t.re.(i1) /. norm;
+          t.im.(i0) <- t.im.(i1) /. norm;
+          t.re.(i1) <- 0.0;
+          t.im.(i1) <- 0.0;
+          incr idx
+        done;
+        idx := !idx + stride
+      done;
+      true
+    end
+    else begin
+      (* No jump: K0 = diag(1, sqrt(1-gamma)), renormalized by
+         sqrt(1 - gamma*p1). *)
+      let damp = sqrt (1.0 -. gamma) in
+      let norm = sqrt (1.0 -. p_jump) in
+      let idx = ref 0 in
+      while !idx < dim do
+        let block_end = !idx + stride in
+        while !idx < block_end do
+          let i0 = !idx and i1 = !idx + stride in
+          t.re.(i0) <- t.re.(i0) /. norm;
+          t.im.(i0) <- t.im.(i0) /. norm;
+          t.re.(i1) <- t.re.(i1) *. damp /. norm;
+          t.im.(i1) <- t.im.(i1) *. damp /. norm;
+          incr idx
+        done;
+        idx := !idx + stride
+      done;
+      false
+    end
+  end

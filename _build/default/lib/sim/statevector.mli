@@ -1,0 +1,72 @@
+(** Dense statevector simulator.
+
+    This is the stand-in for the paper's real hardware: compiled circuits
+    execute on a full 2^n amplitude vector. Amplitudes are stored as
+    separate unboxed float arrays (real/imaginary) for speed; qubit 0 is
+    the highest-order bit of the basis index, matching
+    {!Ir.Matrices.circuit_unitary}. Intended for the compacted circuits
+    the runner produces (n <= ~14). *)
+
+type t
+
+(** [init n] is |0...0> on [n] qubits (1 <= n <= 24). *)
+val init : int -> t
+
+val n_qubits : t -> int
+
+(** [copy t] is an independent snapshot. *)
+val copy : t -> t
+
+(** [amplitude t i] is the amplitude of basis state [i]. *)
+val amplitude : t -> int -> Mathkit.Cplx.t
+
+(** [probability t i] is |amplitude|^2 of basis state [i]. *)
+val probability : t -> int -> float
+
+(** [probabilities t] is the full probability vector (length 2^n). *)
+val probabilities : t -> float array
+
+(** [norm2 t] is the total probability (1 up to rounding). *)
+val norm2 : t -> float
+
+(** [apply_one t m q] applies the 2x2 unitary [m] to qubit [q] in place. *)
+val apply_one : t -> Mathkit.Matrix.t -> int -> unit
+
+(** [apply_two t m a b] applies the 4x4 unitary [m] to qubits [(a, b)]
+    ([a] = high bit of the matrix index) in place. *)
+val apply_two : t -> Mathkit.Matrix.t -> int -> int -> unit
+
+(** [apply_gate t g] dispatches a non-measure IR gate; raises
+    [Invalid_argument] on [Measure]. *)
+val apply_gate : t -> Ir.Gate.t -> unit
+
+(** [run circuit] executes a measure-free prefix view of [circuit] from
+    |0...0> (measures are skipped — readout is handled by the caller). *)
+val run : Ir.Circuit.t -> t
+
+(** [sample t rng] draws a basis-state index from the state's
+    distribution. *)
+val sample : t -> Mathkit.Rng.t -> int
+
+(** [scale t c] multiplies every amplitude by the real scalar [c]
+    (used by the density-matrix backend's Kraus sums). *)
+val scale : t -> float -> unit
+
+(** [add_scaled dst c src] adds [c] times [src]'s amplitudes into [dst];
+    both must have the same qubit count. *)
+val add_scaled : t -> float -> t -> unit
+
+(** [zero_like t] is an all-zero amplitude vector of the same shape
+    (not a valid quantum state until written to). *)
+val zero_like : t -> t
+
+(** [excited_population t q] is the probability of reading 1 on qubit
+    [q]. *)
+val excited_population : t -> int -> float
+
+(** [relax t q ~gamma rng] applies single-qubit amplitude damping by the
+    quantum-jump method: with probability [gamma *
+    excited_population t q] the qubit decays to |0> (jump), otherwise the
+    no-jump Kraus operator is applied; the state is renormalized either
+    way. Returns [true] when a jump occurred. *)
+val relax : t -> int -> gamma:float -> Mathkit.Rng.t -> bool

@@ -1,0 +1,37 @@
+module Compiled = Triq.Compiled
+
+type result = {
+  equivalent : bool;
+  total_variation : float;
+  program_distribution : (string * float) list;
+  compiled_distribution : (string * float) list;
+}
+
+let check ~program ~measured (compiled : Compiled.t) =
+  let program_distribution =
+    Runner.ideal_distribution (Ir.Circuit.body program) ~measured
+  in
+  let hw, mapping = Ir.Circuit.compact compiled.Compiled.hardware in
+  let measured_hw =
+    List.map
+      (fun p ->
+        match List.assoc_opt p compiled.Compiled.readout_map with
+        | Some hw_qubit -> List.assoc hw_qubit mapping
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Verify.check: program qubit %d is not measured" p))
+      measured
+  in
+  let compiled_distribution =
+    Runner.ideal_distribution (Ir.Circuit.body hw) ~measured:measured_hw
+  in
+  let total_variation = Dist.total_variation program_distribution compiled_distribution in
+  {
+    equivalent = total_variation < 1e-6;
+    total_variation;
+    program_distribution;
+    compiled_distribution;
+  }
+
+let check_spec (spec : Ir.Spec.t) ~program compiled =
+  check ~program ~measured:spec.Ir.Spec.measured compiled

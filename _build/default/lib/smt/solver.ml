@@ -1,0 +1,226 @@
+type literal = int
+
+type t = {
+  n_vars : int;
+  mutable clauses : literal array list;  (** frozen clause store *)
+  mutable n_clauses : int;
+  mutable decisions : int;
+}
+
+type outcome = Sat of bool array | Unsat
+
+let create n_vars =
+  if n_vars <= 0 then invalid_arg "Solver.create: need at least one variable";
+  { n_vars; clauses = []; n_clauses = 0; decisions = 0 }
+
+let n_vars t = t.n_vars
+let n_clauses t = t.n_clauses
+let decisions t = t.decisions
+
+let check_literal t l =
+  let v = abs l in
+  if l = 0 || v > t.n_vars then invalid_arg "Solver: literal out of range"
+
+let add_clause t lits =
+  List.iter (check_literal t) lits;
+  let sorted = List.sort_uniq compare lits in
+  if sorted = [] then invalid_arg "Solver.add_clause: empty clause";
+  let tautology = List.exists (fun l -> List.mem (-l) sorted) sorted in
+  if not tautology then begin
+    t.clauses <- Array.of_list sorted :: t.clauses;
+    t.n_clauses <- t.n_clauses + 1
+  end
+
+let at_most_one t lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+      List.iter (fun l' -> add_clause t [ -l; -l' ]) rest;
+      pairs rest
+  in
+  pairs lits
+
+let exactly_one t lits =
+  add_clause t lits;
+  at_most_one t lits
+
+(* ---------- DPLL with two-watched literals ---------- *)
+
+(* Literal index: +v -> 2v, -v -> 2v+1. *)
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+type search = {
+  clauses : literal array array;
+  (* watches.(lit_index l) = clause indices currently watching l *)
+  watches : int list array;
+  (* watched.(c) = (i, j): positions within clause c of the two watched
+     literals (equal for unit clauses) *)
+  watched : (int * int) array;
+  (* value.(v) = 0 unassigned, 1 true, -1 false *)
+  value : int array;
+  mutable trail : literal list;
+  (* decision stack: (literal decided, trail length before, tried_both) *)
+  mutable stack : (literal * literal list * bool) list;
+  mutable queue : literal list;  (** propagation queue *)
+}
+
+let lit_value s l =
+  let v = s.value.(abs l) in
+  if v = 0 then 0 else if (l > 0 && v = 1) || (l < 0 && v = -1) then 1 else -1
+
+let assign s l =
+  s.value.(abs l) <- (if l > 0 then 1 else -1);
+  s.trail <- l :: s.trail;
+  s.queue <- l :: s.queue
+
+(* Propagate until fixpoint. Returns false on conflict. *)
+let rec propagate s =
+  match s.queue with
+  | [] -> true
+  | l :: rest ->
+    s.queue <- rest;
+    (* Clauses watching the falsified literal -l must find a new watch. *)
+    let falsified = -l in
+    let idx = lit_index falsified in
+    let watching = s.watches.(idx) in
+    s.watches.(idx) <- [];
+    let conflict = ref false in
+    let still_watching = ref [] in
+    List.iter
+      (fun c ->
+        if !conflict then still_watching := c :: !still_watching
+        else begin
+          let clause = s.clauses.(c) in
+          let wi, wj = s.watched.(c) in
+          (* Position of the falsified watch within the clause. *)
+          let pos, other_pos = if clause.(wi) = falsified then (wi, wj) else (wj, wi) in
+          let other = clause.(other_pos) in
+          if lit_value s other = 1 then
+            (* Clause already satisfied; keep watching. *)
+            still_watching := c :: !still_watching
+          else begin
+            (* Find a replacement watch. *)
+            let replacement = ref (-1) in
+            Array.iteri
+              (fun k lit ->
+                if !replacement < 0 && k <> pos && k <> other_pos
+                   && lit_value s lit >= 0
+                then replacement := k)
+              clause;
+            if !replacement >= 0 then begin
+              let k = !replacement in
+              s.watched.(c) <- (if pos = wi then (k, wj) else (wi, k));
+              s.watches.(lit_index clause.(k)) <- c :: s.watches.(lit_index clause.(k))
+            end
+            else begin
+              (* Unit or conflicting. *)
+              still_watching := c :: !still_watching;
+              match lit_value s other with
+              | 0 -> assign s other
+              | -1 -> conflict := true
+              | _ -> ()
+            end
+          end
+        end)
+      watching;
+    s.watches.(idx) <- !still_watching @ s.watches.(idx);
+    if !conflict then begin
+      s.queue <- [];
+      false
+    end
+    else propagate s
+
+let undo_to s saved_trail =
+  let rec pop trail =
+    if trail != saved_trail then begin
+      match trail with
+      | l :: rest ->
+        s.value.(abs l) <- 0;
+        pop rest
+      | [] -> ()
+    end
+  in
+  pop s.trail;
+  s.trail <- saved_trail;
+  s.queue <- []
+
+let solve ?(assumptions = []) t =
+  List.iter (check_literal t) assumptions;
+  let clauses = Array.of_list t.clauses in
+  let s =
+    {
+      clauses;
+      watches = Array.make ((2 * t.n_vars) + 2) [];
+      watched = Array.make (Array.length clauses) (0, 0);
+      value = Array.make (t.n_vars + 1) 0;
+      trail = [];
+      stack = [];
+      queue = [];
+    }
+  in
+  t.decisions <- 0;
+  (* Install watches: first two literals (or the single one twice). *)
+  Array.iteri
+    (fun c clause ->
+      let i = 0 and j = if Array.length clause > 1 then 1 else 0 in
+      s.watched.(c) <- (i, j);
+      s.watches.(lit_index clause.(i)) <- c :: s.watches.(lit_index clause.(i));
+      if j <> i then
+        s.watches.(lit_index clause.(j)) <- c :: s.watches.(lit_index clause.(j)))
+    clauses;
+  (* Unit clauses and assumptions seed the queue. *)
+  let seed_ok =
+    Array.for_all
+      (fun clause ->
+        if Array.length clause = 1 then begin
+          match lit_value s clause.(0) with
+          | -1 -> false
+          | 0 ->
+            assign s clause.(0);
+            true
+          | _ -> true
+        end
+        else true)
+      clauses
+    && List.for_all
+         (fun l ->
+           match lit_value s l with
+           | -1 -> false
+           | 0 ->
+             assign s l;
+             true
+           | _ -> true)
+         assumptions
+  in
+  if not seed_ok then Unsat
+  else if not (propagate s) then Unsat
+  else begin
+    (* Static decision order: variables as given. *)
+    let next_unassigned () =
+      let rec scan v = if v > t.n_vars then 0 else if s.value.(v) = 0 then v else scan (v + 1) in
+      scan 1
+    in
+    let rec backtrack () =
+      match s.stack with
+      | [] -> Unsat
+      | (l, saved, tried_both) :: rest ->
+        s.stack <- rest;
+        undo_to s saved;
+        if tried_both then backtrack ()
+        else begin
+          s.stack <- (-l, saved, true) :: s.stack;
+          assign s (-l);
+          if propagate s then search () else backtrack ()
+        end
+    and search () =
+      match next_unassigned () with
+      | 0 -> Sat (Array.init (t.n_vars + 1) (fun v -> v > 0 && s.value.(v) = 1))
+      | v ->
+        t.decisions <- t.decisions + 1;
+        let saved = s.trail in
+        s.stack <- (v, saved, false) :: s.stack;
+        assign s v;
+        if propagate s then search () else backtrack ()
+    in
+    search ()
+  end

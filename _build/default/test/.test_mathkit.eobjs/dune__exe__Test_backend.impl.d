@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Backend Bench_kit Device Ir List Mathkit String Triq

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bench_kit Device Ir List Mathkit Printf Sim Triq

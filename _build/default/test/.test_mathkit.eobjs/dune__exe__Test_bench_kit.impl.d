@@ -1,0 +1,1 @@
+test/test_bench_kit.ml: Alcotest Bench_kit Device Fun Ir List Printf Scaffold Sim String Triq

@@ -1,0 +1,1 @@
+test/test_characterize.ml: Alcotest Characterize Device Float Ir List Sim

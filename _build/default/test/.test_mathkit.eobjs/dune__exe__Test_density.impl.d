@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Bench_kit Device Float Ir List Mathkit Printf Sim Triq

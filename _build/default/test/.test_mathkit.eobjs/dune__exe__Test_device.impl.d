@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Device Float Ir List Mathkit Printf QCheck QCheck_alcotest Triq

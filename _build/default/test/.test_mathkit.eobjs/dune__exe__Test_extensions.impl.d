@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Backend Bench_kit Device Float Ir List Mathkit Printf Sim String Triq

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Backend Baselines Bench_kit Device Ir List Printf QCheck QCheck_alcotest Scaffold Sim Triq

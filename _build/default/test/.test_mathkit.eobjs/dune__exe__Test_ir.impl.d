@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Float Ir List Mathkit QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mathkit.ml: Alcotest Array Float Format Gen List Mathkit QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pulse.ml: Alcotest Array Bench_kit Device Float Ir List Pulse QCheck QCheck_alcotest String Triq

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Backend Bench_kit Device Float Ir List Mathkit Qasm Sim String Triq

@@ -1,0 +1,1 @@
+test/test_scaffold.ml: Alcotest Bench_kit Float Ir List QCheck QCheck_alcotest Scaffold Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bench_kit Device Float Ir List Mathkit Option Printf QCheck QCheck_alcotest Sim String Triq

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Bench_kit Device Float Ir List Mathkit Smt Triq

@@ -1,0 +1,1 @@
+test/test_triq.ml: Alcotest Array Device Float Format Ir List Mathkit Printf QCheck QCheck_alcotest Triq

@@ -1,0 +1,387 @@
+(* Simulator tests: statevector correctness against known states and the
+   matrix backend, noise model behaviour, and runner end-to-end checks. *)
+
+module G = Ir.Gate
+module Circuit = Ir.Circuit
+module Mat = Ir.Matrices
+module M = Mathkit.Matrix
+module Rng = Mathkit.Rng
+module Machines = Device.Machines
+module Sv = Sim.Statevector
+module Noise = Sim.Noise
+module Runner = Sim.Runner
+module Pipeline = Triq.Pipeline
+
+let circuit n gates = Circuit.create n gates
+
+(* ---------- Statevector ---------- *)
+
+let test_sv_init () =
+  let s = Sv.init 3 in
+  Alcotest.(check (float 1e-12)) "all mass on 0" 1.0 (Sv.probability s 0);
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (Sv.norm2 s)
+
+let test_sv_x_flips () =
+  let s = Sv.init 2 in
+  Sv.apply_one s (Mat.one_q G.X) 0;
+  (* Qubit 0 is the high bit: |00> -> |10> = index 2. *)
+  Alcotest.(check (float 1e-12)) "index 2" 1.0 (Sv.probability s 2)
+
+let test_sv_h_superposition () =
+  let s = Sv.init 1 in
+  Sv.apply_one s (Mat.one_q G.H) 0;
+  Alcotest.(check (float 1e-12)) "p0" 0.5 (Sv.probability s 0);
+  Alcotest.(check (float 1e-12)) "p1" 0.5 (Sv.probability s 1)
+
+let test_sv_bell () =
+  let s = Sv.run (circuit 2 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 1) ]) in
+  Alcotest.(check (float 1e-12)) "p00" 0.5 (Sv.probability s 0);
+  Alcotest.(check (float 1e-12)) "p11" 0.5 (Sv.probability s 3);
+  Alcotest.(check (float 1e-12)) "p01" 0.0 (Sv.probability s 1)
+
+let test_sv_matches_matrix_backend () =
+  (* Random circuits: the statevector result must equal the column of the
+     full unitary. *)
+  let rng = Rng.create 41 in
+  for _ = 1 to 25 do
+    let n = 3 in
+    let kinds = [| G.H; G.X; G.T; G.S; G.Rx 0.7; G.Ry 0.3; G.Rz 1.1 |] in
+    let len = 1 + Rng.int rng 12 in
+    let gates =
+      List.init len (fun _ ->
+          if Rng.bool rng 0.3 then begin
+            let a = Rng.int rng n in
+            let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+            G.Two (G.Cnot, a, b)
+          end
+          else G.One (kinds.(Rng.int rng 7), Rng.int rng n))
+    in
+    let c = circuit n gates in
+    let u = Mat.circuit_unitary c in
+    let s = Sv.run c in
+    for i = 0 to (1 lsl n) - 1 do
+      let expected = M.get u i 0 in
+      if not (Mathkit.Cplx.approx ~eps:1e-9 expected (Sv.amplitude s i)) then
+        Alcotest.fail "statevector disagrees with matrix backend"
+    done
+  done
+
+let test_sv_two_q_arbitrary_pair () =
+  (* Apply CNOT on a non-adjacent, reversed pair and compare backends. *)
+  let c = circuit 3 [ G.One (G.H, 2); G.Two (G.Cnot, 2, 0) ] in
+  let u = Mat.circuit_unitary c in
+  let s = Sv.run c in
+  for i = 0 to 7 do
+    if not (Mathkit.Cplx.approx ~eps:1e-12 (M.get u i 0) (Sv.amplitude s i)) then
+      Alcotest.failf "mismatch at %d" i
+  done
+
+let test_sv_norm_preserved () =
+  let s = Sv.run (circuit 4 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 3); G.One (G.T, 3) ]) in
+  Alcotest.(check (float 1e-9)) "unit norm" 1.0 (Sv.norm2 s)
+
+let test_sv_sample_distribution () =
+  let s = Sv.run (circuit 1 [ G.One (G.H, 0) ]) in
+  let rng = Rng.create 7 in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Sv.sample s rng = 1 then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  if Float.abs (frac -. 0.5) > 0.02 then Alcotest.failf "biased sampling: %f" frac
+
+let test_sv_rejects_measure () =
+  let s = Sv.init 1 in
+  Alcotest.(check bool) "raises" true
+    (try Sv.apply_gate s (G.Measure 0); false with Invalid_argument _ -> true)
+
+(* ---------- Noise ---------- *)
+
+let noise_for machine = Noise.create machine (Device.Machine.calibration machine ~day:0)
+
+let test_noise_virtual_z_free () =
+  let n = noise_for Machines.ibmq5 in
+  Alcotest.(check (float 1e-12)) "U1 free" 0.0
+    (Noise.gate_error_prob n (G.One (G.U1 0.3, 0)));
+  Alcotest.(check bool) "U3 costs" true
+    (Noise.gate_error_prob n (G.One (G.U3 (0.3, 0.1, 0.2), 0)) > 0.0)
+
+let test_noise_two_q_dominates () =
+  let n = noise_for Machines.ibmq14 in
+  let one = Noise.gate_error_prob n (G.One (G.U3 (0.3, 0.1, 0.2), 1)) in
+  let two = Noise.gate_error_prob n (G.Two (G.Cnot, 1, 0)) in
+  Alcotest.(check bool) "2q error > 1q error" true (two > one)
+
+let test_noise_readout_positive () =
+  let n = noise_for Machines.agave in
+  for q = 0 to 3 do
+    Alcotest.(check bool) "positive" true (Noise.readout_flip_prob n q > 0.0)
+  done
+
+let test_noise_umd_low () =
+  let sc = noise_for Machines.ibmq14 in
+  let ion = noise_for Machines.umdti in
+  let sc_2q = Noise.gate_error_prob sc (G.Two (G.Cnot, 1, 0)) in
+  let ion_2q = Noise.gate_error_prob ion (G.Two (G.Xx (Float.pi /. 4.0), 0, 1)) in
+  Alcotest.(check bool) "ion trap lower 2q error" true (ion_2q < sc_2q)
+
+let test_noise_inject_flips_state () =
+  (* With error probability forced high via a machine with bad gates, the
+     injection path must report errors and keep the state normalized. *)
+  let machine = Machines.agave in
+  let n = noise_for machine in
+  let rng = Rng.create 3 in
+  let state = Sv.init 2 in
+  let injected = ref 0 in
+  for _ = 1 to 200 do
+    if Noise.inject n rng (G.Two (G.Cz, 0, 1)) state ~qubit_of:(fun q -> q) then
+      incr injected
+  done;
+  Alcotest.(check bool) "some errors injected" true (!injected > 0);
+  Alcotest.(check (float 1e-6)) "still normalized" 1.0 (Sv.norm2 state)
+
+(* ---------- Runner ---------- *)
+
+let bell_program =
+  Circuit.measure_all (circuit 2 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 1) ]) [ 0; 1 ]
+
+let bell_spec = Ir.Spec.distribution [ 0; 1 ] [ ("00", 0.5); ("11", 0.5) ]
+
+let test_runner_bell_on_umd () =
+  let compiled = Pipeline.compile Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
+  let outcome = Runner.run (Pipeline.to_compiled compiled) bell_spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "high success (%f)" outcome.Runner.success_rate)
+    true
+    (outcome.Runner.success_rate > 0.9);
+  Alcotest.(check int) "counts sum to trials" outcome.Runner.trials
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 outcome.Runner.counts)
+
+let test_runner_deterministic () =
+  let compiled = Pipeline.compile Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN in
+  let o1 = Runner.run ~seed:5 (Pipeline.to_compiled compiled) bell_spec in
+  let o2 = Runner.run ~seed:5 (Pipeline.to_compiled compiled) bell_spec in
+  Alcotest.(check (float 1e-12)) "same seed, same result" o1.Runner.success_rate
+    o2.Runner.success_rate
+
+let test_runner_noise_hurts () =
+  (* Success on a noisy machine must be below the ideal 1.0 but above
+     chance for a short circuit. *)
+  let x_program = Circuit.measure_all (circuit 1 [ G.One (G.X, 0) ]) [ 0 ] in
+  let spec = Ir.Spec.deterministic [ 0 ] "1" in
+  let compiled = Pipeline.compile Machines.agave x_program ~level:Pipeline.OneQOptCN in
+  let outcome = Runner.run (Pipeline.to_compiled compiled) spec in
+  Alcotest.(check bool) "below perfect" true (outcome.Runner.success_rate < 1.0);
+  Alcotest.(check bool) "above chance" true (outcome.Runner.success_rate > 0.6)
+
+let test_runner_ideal_distribution () =
+  let dist = Runner.ideal_distribution (Circuit.body bell_program) ~measured:[ 0; 1 ] in
+  Alcotest.(check int) "two outcomes" 2 (List.length dist);
+  List.iter
+    (fun (bits, p) ->
+      if bits <> "00" && bits <> "11" then Alcotest.failf "unexpected %s" bits;
+      Alcotest.(check (float 1e-9)) "half" 0.5 p)
+    dist
+
+let test_runner_readout_order () =
+  (* Measure in reversed order: bitstring must follow the measured list. *)
+  let c = Circuit.measure_all (circuit 2 [ G.One (G.X, 0) ]) [ 0; 1 ] in
+  let dist_fwd = Runner.ideal_distribution (Circuit.body c) ~measured:[ 0; 1 ] in
+  let dist_rev = Runner.ideal_distribution (Circuit.body c) ~measured:[ 1; 0 ] in
+  Alcotest.(check string) "forward" "10" (fst (List.hd dist_fwd));
+  Alcotest.(check string) "reversed" "01" (fst (List.hd dist_rev))
+
+let test_runner_better_esp_better_success () =
+  (* Same program, same machine: the noise-aware compilation should not do
+     materially worse than the naive one. *)
+  let program = Bench_kit.Programs.(bv 4) in
+  let naive = Pipeline.compile Machines.ibmq14 program.Bench_kit.Programs.circuit ~level:Pipeline.N in
+  let smart =
+    Pipeline.compile Machines.ibmq14 program.Bench_kit.Programs.circuit
+      ~level:Pipeline.OneQOptCN
+  in
+  let spec = program.Bench_kit.Programs.spec in
+  let o_naive = Runner.run (Pipeline.to_compiled naive) spec in
+  let o_smart = Runner.run (Pipeline.to_compiled smart) spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "smart %.3f >= naive %.3f - 0.05" o_smart.Runner.success_rate
+       o_naive.Runner.success_rate)
+    true
+    (o_smart.Runner.success_rate >= o_naive.Runner.success_rate -. 0.05)
+
+let test_runner_sampled_counts () =
+  let compiled = Pipeline.compile Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
+  let o =
+    Runner.run ~seed:9 ~sample_counts:true (Pipeline.to_compiled compiled) bell_spec
+  in
+  Alcotest.(check int) "counts sum to trials" o.Runner.trials
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 o.Runner.counts);
+  (* Sampled counts fluctuate around the distribution but stay close. *)
+  let p00 =
+    float_of_int (Option.value ~default:0 (List.assoc_opt "00" o.Runner.counts))
+    /. float_of_int o.Runner.trials
+  in
+  Alcotest.(check bool) (Printf.sprintf "p00 %.3f near 0.5" p00) true
+    (Float.abs (p00 -. 0.5) < 0.05);
+  (* Different seeds produce different samples. *)
+  let o2 =
+    Runner.run ~seed:10 ~sample_counts:true (Pipeline.to_compiled compiled) bell_spec
+  in
+  Alcotest.(check bool) "seeds differ" true (o.Runner.counts <> o2.Runner.counts)
+
+(* ---------- Mitigation ---------- *)
+
+let test_mitigation_inverts_exactly () =
+  (* Corrupting then correcting with the same flips is the identity. *)
+  let flip = [| 0.1; 0.05 |] in
+  let clean = [ ("00", 0.7); ("11", 0.3) ] in
+  let as_vector dist =
+    let v = Array.make 4 0.0 in
+    List.iter
+      (fun (bits, p) ->
+        let idx = String.fold_left (fun a c -> (a lsl 1) lor (if c = '1' then 1 else 0)) 0 bits in
+        v.(idx) <- p)
+      dist;
+    v
+  in
+  let corrupted = Sim.Dist.corrupt_readout (as_vector clean) flip in
+  let recovered = Sim.Mitigation.correct ~flip (Sim.Dist.to_strings corrupted) in
+  List.iter
+    (fun (bits, expected) ->
+      let got = Option.value ~default:0.0 (List.assoc_opt bits recovered) in
+      Alcotest.(check (float 1e-9)) bits expected got)
+    clean
+
+let test_mitigation_validation () =
+  Alcotest.(check bool) "flip >= 0.5 rejected" true
+    (try ignore (Sim.Mitigation.correct ~flip:[| 0.6 |] [ ("0", 1.0) ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch" true
+    (try ignore (Sim.Mitigation.correct ~flip:[| 0.1 |] [ ("00", 1.0) ]); false
+     with Invalid_argument _ -> true)
+
+let test_mitigation_improves_success () =
+  (* On a readout-heavy machine, mitigation must raise measured success. *)
+  let p = Bench_kit.Programs.toffoli in
+  let compiled =
+    Pipeline.to_compiled
+      (Pipeline.compile Machines.agave p.Bench_kit.Programs.circuit
+         ~level:Pipeline.OneQOptCN)
+  in
+  let raw, mitigated =
+    Sim.Mitigation.mitigated_success ~trajectories:300 compiled
+      p.Bench_kit.Programs.spec
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mitigated %.3f > raw %.3f" mitigated raw)
+    true (mitigated > raw)
+
+let test_parity_expectation () =
+  let dist = [ ("00", 0.5); ("11", 0.5) ] in
+  Alcotest.(check (float 1e-12)) "even parity" 1.0
+    (Sim.Dist.parity_expectation dist [ 0; 1 ]);
+  Alcotest.(check (float 1e-12)) "single bit balanced" 0.0
+    (Sim.Dist.parity_expectation dist [ 0 ]);
+  let dist2 = [ ("01", 1.0) ] in
+  Alcotest.(check (float 1e-12)) "odd parity" (-1.0)
+    (Sim.Dist.parity_expectation dist2 [ 0; 1 ])
+
+(* ---------- qcheck ---------- *)
+
+let dist_gen m =
+  QCheck.Gen.(
+    map
+      (fun weights ->
+        let total = List.fold_left ( +. ) 0.0 weights in
+        List.mapi
+          (fun idx w ->
+            let bits =
+              String.init m (fun i -> if (idx lsr (m - 1 - i)) land 1 = 1 then '1' else '0')
+            in
+            (bits, w /. total))
+          weights)
+      (list_repeat (1 lsl m) (float_range 0.01 1.0)))
+
+let prop_mitigation_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"corrupt then mitigate is identity"
+    (QCheck.make
+       QCheck.Gen.(pair (dist_gen 3) (list_repeat 3 (float_range 0.0 0.35))))
+    (fun (clean, flips) ->
+      let flip = Array.of_list flips in
+      let v = Array.make 8 0.0 in
+      List.iter
+        (fun (bits, p) ->
+          let idx =
+            String.fold_left (fun a c -> (a lsl 1) lor (if c = '1' then 1 else 0)) 0 bits
+          in
+          v.(idx) <- p)
+        clean;
+      let corrupted = Sim.Dist.corrupt_readout v flip in
+      let recovered = Sim.Mitigation.correct ~flip (Sim.Dist.to_strings corrupted) in
+      Sim.Dist.total_variation clean recovered < 1e-6)
+
+let prop_corrupt_preserves_normalization =
+  QCheck.Test.make ~count:200 ~name:"readout corruption preserves total probability"
+    (QCheck.make
+       QCheck.Gen.(pair (dist_gen 3) (list_repeat 3 (float_range 0.0 0.49))))
+    (fun (clean, flips) ->
+      let flip = Array.of_list flips in
+      let v = Array.make 8 0.0 in
+      List.iter
+        (fun (bits, p) ->
+          let idx =
+            String.fold_left (fun a c -> (a lsl 1) lor (if c = '1' then 1 else 0)) 0 bits
+          in
+          v.(idx) <- p)
+        clean;
+      let corrupted = Sim.Dist.corrupt_readout v flip in
+      Float.abs (Array.fold_left ( +. ) 0.0 corrupted -. 1.0) < 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mitigation_roundtrip; prop_corrupt_preserves_normalization ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "statevector",
+        [
+          Alcotest.test_case "init" `Quick test_sv_init;
+          Alcotest.test_case "x flips" `Quick test_sv_x_flips;
+          Alcotest.test_case "h superposition" `Quick test_sv_h_superposition;
+          Alcotest.test_case "bell" `Quick test_sv_bell;
+          Alcotest.test_case "matches matrix backend" `Quick
+            test_sv_matches_matrix_backend;
+          Alcotest.test_case "arbitrary pair" `Quick test_sv_two_q_arbitrary_pair;
+          Alcotest.test_case "norm preserved" `Quick test_sv_norm_preserved;
+          Alcotest.test_case "sampling" `Quick test_sv_sample_distribution;
+          Alcotest.test_case "rejects measure" `Quick test_sv_rejects_measure;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "virtual z free" `Quick test_noise_virtual_z_free;
+          Alcotest.test_case "2q dominates" `Quick test_noise_two_q_dominates;
+          Alcotest.test_case "readout positive" `Quick test_noise_readout_positive;
+          Alcotest.test_case "umd low error" `Quick test_noise_umd_low;
+          Alcotest.test_case "injection" `Quick test_noise_inject_flips_state;
+        ] );
+      ( "mitigation",
+        [
+          Alcotest.test_case "exact inversion" `Quick test_mitigation_inverts_exactly;
+          Alcotest.test_case "validation" `Quick test_mitigation_validation;
+          Alcotest.test_case "improves success" `Quick test_mitigation_improves_success;
+          Alcotest.test_case "parity expectation" `Quick test_parity_expectation;
+        ] );
+      ("properties", qcheck_cases);
+      ( "runner",
+        [
+          Alcotest.test_case "bell on umd" `Quick test_runner_bell_on_umd;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "noise hurts" `Quick test_runner_noise_hurts;
+          Alcotest.test_case "ideal distribution" `Quick test_runner_ideal_distribution;
+          Alcotest.test_case "readout order" `Quick test_runner_readout_order;
+          Alcotest.test_case "esp ordering" `Quick test_runner_better_esp_better_success;
+          Alcotest.test_case "sampled counts" `Quick test_runner_sampled_counts;
+        ] );
+    ]
