@@ -3,6 +3,7 @@
    Subcommands:
      compile   Scaffold source -> vendor executable (OpenQASM/Quil/TI asm)
      simulate  compile, then run on the noisy device model
+     lint      static checks: Scaffold source lints + compile-time validation
      machines  list the supported machines
      info      describe one machine (topology + calibration snapshot)
      bench     list the built-in benchmark programs *)
@@ -456,6 +457,98 @@ let export_cmd =
   let doc = "Export a machine description as JSON (edit it, then pass the file as -m)." in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run $ machine_pos)
 
+let lint_cmd =
+  let machine_opt =
+    let doc =
+      "Also compile for MACHINE (built-in name or JSON description) with the \
+       pass-invariant validator enabled, and audit the finished executable."
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+  in
+  let all_levels_arg =
+    Arg.(
+      value & flag
+      & info [ "all-levels" ]
+          ~doc:"With -m, validate every optimization level instead of just -O.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object per diagnostic instead of text.")
+  in
+  let run file machine_spec level_name day all_levels json =
+    let ( let* ) = Result.bind in
+    let result =
+      (* Source-level lints (Scaffold only; QASM input skips straight to the
+         compile-time checks). *)
+      let* source_diags =
+        if Filename.check_suffix file ".qasm" then Ok []
+        else
+          try Ok (Analysis.Scaffold_lint.lint_file file)
+          with Sys_error msg -> Error msg
+      in
+      (* Compile-time validation, only when a target is named and the source
+         itself is not already broken. *)
+      let* compile_diags =
+        match machine_spec with
+        | None -> Ok []
+        | Some _ when Analysis.Diag.has_errors source_diags -> Ok []
+        | Some spec ->
+          let* machine = find_machine spec in
+          let* level = find_level level_name in
+          let* program = load_program file in
+          let* () =
+            if Device.Machine.fits machine program.Scaffold.Lower.circuit then Ok ()
+            else
+              Error
+                (Printf.sprintf "program needs %d qubits; %s has %d"
+                   program.Scaffold.Lower.circuit.Ir.Circuit.n_qubits
+                   machine.Device.Machine.name
+                   (Device.Machine.n_qubits machine))
+          in
+          let levels = if all_levels then Triq.Pipeline.all_levels else [ level ] in
+          Ok
+            (List.concat_map
+               (fun level ->
+                 match
+                   Triq.Pipeline.compile ~day ~validate:true machine
+                     program.Scaffold.Lower.circuit ~level
+                 with
+                 | compiled ->
+                   Triq.Validate.check_pipeline
+                     ~measured:program.Scaffold.Lower.measured compiled
+                 | exception Analysis.Diag.Violation (_, diags) -> diags)
+               levels)
+      in
+      Ok (List.sort_uniq Analysis.Diag.compare (source_diags @ compile_diags))
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      2
+    | Ok diags ->
+      List.iter
+        (fun d ->
+          print_endline
+            (if json then Analysis.Diag.to_json d else Analysis.Diag.render d))
+        diags;
+      let errors = Analysis.Diag.error_count diags in
+      if not json then
+        Printf.eprintf "triqc lint: %d error(s), %d warning(s)\n" errors
+          (List.length diags - errors);
+      if errors > 0 then 1 else 0
+  in
+  let doc =
+    "Run the static checks: Scaffold source lints, plus (with -m) a full \
+     compilation under the pass-invariant validator and a structural audit of \
+     the resulting executable. Exits 1 if any error-severity diagnostic fires."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ file_arg $ machine_opt $ level_arg $ day_arg $ all_levels_arg
+      $ json_arg)
+
 let bench_cmd =
   let run_arg =
     Arg.(
@@ -512,7 +605,18 @@ let bench_cmd =
 let () =
   let doc = "TriQ: a multi-vendor noise-adaptive quantum compiler." in
   let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]
+  in
+  (* Every subcommand compiles, so handle validator violations uniformly
+     here rather than per command. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]))
+    (try Cmd.eval' ~catch:false group with
+    | Analysis.Diag.Violation (pass, diags) ->
+      Printf.eprintf "triqc: internal validation failed after %s:\n" pass;
+      List.iter (fun d -> Printf.eprintf "  %s\n" (Analysis.Diag.render d)) diags;
+      1
+    | Invalid_argument msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      1)

@@ -1,0 +1,1 @@
+lib/analysis/check.ml: Array Device Diag Float Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/analysis/check.mli: Device Diag Ir

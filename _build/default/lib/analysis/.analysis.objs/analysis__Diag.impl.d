@@ -1,0 +1,1 @@
+lib/analysis/diag.ml: Buffer Char Format List Printexc Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/analysis/scaffold_lint.ml: Diag Fun Hashtbl List Scaffold

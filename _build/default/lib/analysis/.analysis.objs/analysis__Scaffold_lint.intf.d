@@ -1,0 +1,1 @@
+lib/analysis/scaffold_lint.mli: Diag Scaffold

@@ -1,0 +1,99 @@
+(** The static rule catalog: cheap structural well-formedness checks over
+    circuits and compiled executables, reported as {!Diag.t} values.
+
+    Every function is pure and total — a check never raises, it reports.
+    The circuit-shape rules operate on raw gate lists (not validated
+    {!Ir.Circuit.t} values) so that violations of the invariants
+    [Ir.Circuit.create] enforces by construction remain expressible and
+    testable. [layer] tags the diagnostics with the pass being audited
+    (["flatten"], ["routing"], ["executable"], ...).
+
+    Rule ids are stable and documented in docs/ANALYSIS.md. *)
+
+(** [(rule id, one-line description)] for every rule this module can
+    emit, in documentation order. *)
+val catalog : (string * string) list
+
+(** {1 Circuit-shape rules} *)
+
+(** [circuit.bounds]: every gate operand lies in [\[0, n_qubits)]. *)
+val qubit_bounds : n_qubits:int -> layer:string -> Ir.Gate.t list -> Diag.t list
+
+(** [circuit.arity]: a gate's operands are pairwise distinct. *)
+val operand_distinct : layer:string -> Ir.Gate.t list -> Diag.t list
+
+(** [circuit.flat]: no undecomposed multi-qubit gate (Toffoli/Fredkin)
+    remains. *)
+val flattened : layer:string -> Ir.Gate.t list -> Diag.t list
+
+(** [gate.set]: every gate is software-visible in the target basis. *)
+val gateset : layer:string -> Device.Gateset.basis -> Ir.Gate.t list -> Diag.t list
+
+(** [topo.coupling]: every 2Q gate acts on a coupled hardware pair. *)
+val coupling : layer:string -> Device.Topology.t -> Ir.Gate.t list -> Diag.t list
+
+(** [topo.direction]: on a directed topology, every CNOT's control-target
+    order matches a directed edge. *)
+val direction : layer:string -> Device.Topology.t -> Ir.Gate.t list -> Diag.t list
+
+(** [measure.once]: no qubit is measured twice. *)
+val measure_once : layer:string -> Ir.Gate.t list -> Diag.t list
+
+(** [measure.order]: no gate touches a qubit after that qubit was
+    measured. *)
+val measure_order : layer:string -> Ir.Gate.t list -> Diag.t list
+
+(** {1 Executable-level rules} *)
+
+(** [exec.placement]: the array is injective with entries in
+    [\[0, n_hardware)]. [what] names the array in messages ("initial
+    placement" / "final placement"). *)
+val placement : layer:string -> what:string -> n_hardware:int -> int array -> Diag.t list
+
+(** [exec.readout]: the readout map is injective, agrees with the final
+    placement, its codomain is exactly the set of hardware qubits the
+    executable measures — and, when the program's [measured] qubits are
+    known, its domain covers them exactly. *)
+val readout :
+  layer:string ->
+  ?measured:int list ->
+  final_placement:int array ->
+  hardware:Ir.Circuit.t ->
+  (int * int) list ->
+  Diag.t list
+
+(** [exec.esp]: the estimated success probability is a number in [0, 1]. *)
+val esp_range : layer:string -> float -> Diag.t list
+
+(** [exec.count-2q]: the recorded 2Q counter equals the hardware
+    circuit's 2Q gate count. *)
+val two_q_counter : layer:string -> hardware:Ir.Circuit.t -> int -> Diag.t list
+
+(** [exec.count-pulse]: the recorded pulse counter equals the hardware
+    circuit's physical pulse count under the basis. Skipped (no
+    diagnostics) when the circuit is not flattened-and-visible — the
+    [circuit.flat]/[gate.set] rules own that failure. *)
+val pulse_counter :
+  layer:string -> Device.Gateset.basis -> hardware:Ir.Circuit.t -> int -> Diag.t list
+
+(** {1 Whole-executable audit} *)
+
+(** Everything the static layer knows about a compiled executable.
+    [measured] is the program's measured qubits when the caller still has
+    the source program ([None] relaxes the readout-coverage direction of
+    [exec.readout]). *)
+type executable = {
+  machine : Device.Machine.t;
+  hardware : Ir.Circuit.t;
+  initial_placement : int array;
+  final_placement : int array;
+  readout_map : (int * int) list;
+  measured : int list option;
+  two_q_count : int;
+  pulse_count : int;
+  esp : float;
+}
+
+(** Run the full rule catalog over one executable; returns the sorted
+    list of violations (empty = statically well-formed). *)
+val check_executable : executable -> Diag.t list

@@ -1,0 +1,92 @@
+module Lower = Scaffold.Lower
+
+let layer = "scaffold"
+
+let catalog =
+  [
+    ("scf.parse", "the source does not parse");
+    ("scf.invalid", "lowering rejected the program (bad index, unknown name, ...)");
+    ("scf.use-after-measure", "a gate touches a qubit after its measurement");
+    ("scf.unused-register", "a declared register is never gated or measured");
+    ("scf.never-gated", "a measured qubit is never acted on by any gate");
+    ("scf.no-measure", "the program measures nothing");
+  ]
+
+let lint_events events =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let gated = Hashtbl.create 16 in
+  let measured_at = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Lower.event) ->
+      match e with
+      | Reg_decl _ -> ()
+      | Gate_use { qubit; line } ->
+        Hashtbl.replace gated qubit ();
+        (match Hashtbl.find_opt measured_at qubit with
+        | Some mline ->
+          add
+            (Diag.errorf ~rule:"scf.use-after-measure" ~layer ~loc:(Diag.Line line)
+               "gate acts on a qubit measured at line %d" mline)
+        | None -> ())
+      | Measure_use { qubit; line } ->
+        if not (Hashtbl.mem measured_at qubit) then
+          Hashtbl.add measured_at qubit line)
+    events;
+  (* Register-level rules need the allocation map. *)
+  let touched q = Hashtbl.mem gated q || Hashtbl.mem measured_at q in
+  List.iter
+    (fun (e : Lower.event) ->
+      match e with
+      | Reg_decl { name; base; size; line } ->
+        let any_touched = ref false in
+        for i = base to base + size - 1 do
+          if touched i then any_touched := true
+        done;
+        if not !any_touched then
+          add
+            (Diag.warnf ~rule:"scf.unused-register" ~layer ~loc:(Diag.Line line)
+               "register %S (%d qubit%s) is never gated or measured" name size
+               (if size = 1 then "" else "s"))
+      | Gate_use _ | Measure_use _ -> ())
+    events;
+  Hashtbl.iter
+    (fun q mline ->
+      if not (Hashtbl.mem gated q) then
+        add
+          (Diag.warnf ~rule:"scf.never-gated" ~layer ~loc:(Diag.Line mline)
+             "qubit %d is measured but never acted on by a gate" q))
+    measured_at;
+  if Hashtbl.length measured_at = 0 then
+    add
+      (Diag.warnf ~rule:"scf.no-measure" ~layer
+         "program measures nothing; its output is empty");
+  !diags
+
+let lint_ast ast =
+  let traced = Lower.lower_traced ast in
+  let hard =
+    match traced.Lower.result with
+    | Ok _ -> []
+    | Error (msg, line) ->
+      [ Diag.errorf ~rule:"scf.invalid" ~layer ~loc:(Diag.Line line) "%s" msg ]
+  in
+  List.sort_uniq Diag.compare (hard @ lint_events traced.Lower.events)
+
+let lint_source source =
+  match Scaffold.Parser.parse source with
+  | ast -> lint_ast ast
+  | exception Scaffold.Parser.Error (msg, line, col) ->
+    [
+      Diag.errorf ~rule:"scf.parse" ~layer ~loc:(Diag.Line line) "%s (column %d)" msg
+        col;
+    ]
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  lint_source source

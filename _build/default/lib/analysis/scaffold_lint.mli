@@ -1,0 +1,29 @@
+(** Source-level lints for Scaffold programs.
+
+    The linter replays the lowering's execution-order event trace
+    ({!Scaffold.Lower.lower_traced}) — which survives mid-lowering
+    failures — so it reports on partially-invalid programs too. Rules:
+
+    - [scf.parse] (error): the source does not parse.
+    - [scf.invalid] (error): lowering rejected the program — out-of-range
+      register index, unknown register or gate, repeated operands, a
+      qubit measured twice, ...
+    - [scf.use-after-measure] (error): a gate touches a qubit after that
+      qubit was measured.
+    - [scf.unused-register] (warning): a declared register none of whose
+      qubits is ever gated or measured.
+    - [scf.never-gated] (warning): a qubit is measured but no gate ever
+      acts on it (its readout is a constant).
+    - [scf.no-measure] (warning): the program measures nothing. *)
+
+val catalog : (string * string) list
+
+(** Lint a parsed program. Diagnostics are sorted ({!Diag.compare}). *)
+val lint_ast : Scaffold.Ast.t -> Diag.t list
+
+(** Parse and lint; a parse error becomes a single [scf.parse]
+    diagnostic. *)
+val lint_source : string -> Diag.t list
+
+(** [lint_file path] reads, parses and lints. Raises [Sys_error] only. *)
+val lint_file : string -> Diag.t list

@@ -1,1 +1,1 @@
-lib/core/direction.ml: Device Ir List Printf
+lib/core/direction.ml: Analysis Device Ir List

@@ -1,1 +1,1 @@
-lib/core/mapper.ml: Array Float Hashtbl Ir List Option Reliability
+lib/core/mapper.ml: Analysis Array Float Hashtbl Ir List Option Reliability

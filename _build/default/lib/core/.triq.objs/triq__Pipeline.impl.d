@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Array Compiled Device Direction Ir List Mapper Oneq_opt Peephole Printf Reliability Router Router_lookahead String Sys Translate
+lib/core/pipeline.ml: Analysis Array Compiled Device Direction Ir List Mapper Oneq_opt Peephole Reliability Router Router_lookahead String Sys Translate

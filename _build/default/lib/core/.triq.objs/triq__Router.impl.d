@@ -1,1 +1,1 @@
-lib/core/router.ml: Array Device Ir List Reliability
+lib/core/router.ml: Analysis Array Device Ir List Reliability

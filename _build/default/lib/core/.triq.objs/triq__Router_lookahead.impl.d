@@ -1,1 +1,1 @@
-lib/core/router_lookahead.ml: Array Device Float Ir List Reliability Router
+lib/core/router_lookahead.ml: Analysis Array Device Float Ir List Reliability Router

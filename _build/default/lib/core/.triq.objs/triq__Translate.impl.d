@@ -1,1 +1,1 @@
-lib/core/translate.ml: Device Float Ir List Mathkit
+lib/core/translate.ml: Analysis Device Float Ir List Mathkit

@@ -18,14 +18,16 @@ let interactions (c : Ir.Circuit.t) =
         if not (Hashtbl.mem table key) then order := key :: !order;
         Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
       | Ccx _ | Cswap _ ->
-        invalid_arg "Mapper.interactions: circuit not flattened"
+        Analysis.Diag.invalid ~rule:"circuit.flat" ~layer:"mapping"
+          "circuit not flattened: %s" (Ir.Gate.to_string g)
       | One _ | Measure _ -> ())
     c.Ir.Circuit.gates;
   List.rev_map (fun key -> (key, Hashtbl.find table key)) !order
 
 let trivial ~n_program ~n_hardware =
   if n_program > n_hardware then
-    invalid_arg "Mapper.trivial: program does not fit on device";
+    Analysis.Diag.invalid ~rule:"circuit.bounds" ~layer:"mapping"
+      "%d-qubit program does not fit a %d-qubit device" n_program n_hardware;
   Array.init n_program (fun i -> i)
 
 let log_floor = 1e-12
@@ -65,7 +67,8 @@ let solve ?(node_budget = 200_000) ?(objective = Max_min) reliability (c : Ir.Ci
   let n_program = c.Ir.Circuit.n_qubits in
   let n_hardware = Reliability.n_qubits reliability in
   if n_program > n_hardware then
-    invalid_arg "Mapper.solve: program does not fit on device";
+    Analysis.Diag.invalid ~rule:"circuit.bounds" ~layer:"mapping"
+      "%d-qubit program does not fit a %d-qubit device" n_program n_hardware;
   let pairs = interactions c in
   let measured = Ir.Circuit.measured_qubits c in
   let measured_set = Array.make n_program false in

@@ -48,13 +48,24 @@ type t = {
     pipeline) additionally cancels adjacent self-inverse 2Q pairs after
     routing; [router] selects SWAP insertion: the paper's per-gate
     reliability-optimal router or the {!Router_lookahead} extension. Both
-    extras are measured by ablation experiments. Raises
-    [Invalid_argument] if the program has more qubits than the machine. *)
+    extras are measured by ablation experiments.
+
+    [validate] (default false) arms the pass-invariant harness: after
+    every pass (flatten, mapping, routing, swap expansion / peephole,
+    orientation repair, translation, readout-map construction) the
+    applicable static rules from {!Analysis.Check} run over that pass's
+    output, and a violation raises {!Analysis.Diag.Violation} naming the
+    pass that introduced it. A validated compile costs one extra linear
+    scan per pass — no simulation.
+
+    Raises [Invalid_argument] if the program has more qubits than the
+    machine. *)
 val compile :
   ?day:int ->
   ?node_budget:int ->
   ?peephole:bool ->
   ?router:[ `Default | `Lookahead ] ->
+  ?validate:bool ->
   Device.Machine.t ->
   Ir.Circuit.t ->
   level:level ->

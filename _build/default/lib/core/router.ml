@@ -8,10 +8,15 @@ type result = {
 
 let check_placement n_hardware placement =
   let seen = Array.make n_hardware false in
-  Array.iter
-    (fun h ->
-      if h < 0 || h >= n_hardware then invalid_arg "Router: placement out of range";
-      if seen.(h) then invalid_arg "Router: placement not injective";
+  Array.iteri
+    (fun p h ->
+      if h < 0 || h >= n_hardware then
+        Analysis.Diag.invalid ~rule:"exec.placement" ~layer:"routing"
+          ~loc:(Analysis.Diag.Qubit p) "placement maps program qubit %d to %d outside [0, %d)" p h
+          n_hardware;
+      if seen.(h) then
+        Analysis.Diag.invalid ~rule:"exec.placement" ~layer:"routing"
+          ~loc:(Analysis.Diag.Qubit p) "placement not injective: hardware qubit %d assigned twice" h;
       seen.(h) <- true)
     placement
 
@@ -54,7 +59,9 @@ let route reliability topology ~placement (c : Ir.Circuit.t) =
       in
       step path;
       if not (Topology.coupled topology cur.(a) cur.(b)) then
-        invalid_arg "Router: swap path failed to co-locate operands";
+        Analysis.Diag.invalid ~rule:"topo.coupling" ~layer:"routing"
+          ~loc:(Analysis.Diag.Pair (cur.(a), cur.(b)))
+          "swap path failed to co-locate program qubits %d and %d" a b;
       emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
     end
   in
@@ -64,7 +71,9 @@ let route reliability topology ~placement (c : Ir.Circuit.t) =
       | One (k, p) -> emit (Ir.Gate.One (k, cur.(p)))
       | Measure p -> emit (Ir.Gate.Measure cur.(p))
       | Two (kind, a, b) -> route_two kind a b
-      | Ccx _ | Cswap _ -> invalid_arg "Router: circuit not flattened")
+      | Ccx _ | Cswap _ ->
+        Analysis.Diag.invalid ~rule:"circuit.flat" ~layer:"routing"
+          "circuit not flattened: %s" (Ir.Gate.to_string g))
     c.Ir.Circuit.gates;
   {
     circuit = Ir.Circuit.create n_hardware (List.rev !out);

@@ -44,14 +44,21 @@ let two_q_to_visible basis (c : Ir.Circuit.t) =
   let rewrite g =
     match g with
     | Two (Cnot, a, b) -> cnot basis a b
-    | Two (Swap, _, _) ->
-      invalid_arg "Translate.two_q_to_visible: expand SWAPs first"
-    | Two (((Cz | Xx _ | Iswap) as kind), _, _) ->
+    | Two (Swap, a, b) ->
+      Analysis.Diag.invalid ~rule:"gate.set" ~layer:"translation"
+        ~loc:(Analysis.Diag.Pair (a, b)) "SWAP q%d,q%d not expanded before translation"
+        a b
+    | Two (((Cz | Xx _ | Iswap) as kind), a, b) ->
       (* Already-visible interactions pass through (parametric SWAP
          expansion emits CZ and iSWAP directly). *)
       if Gateset.two_q_visible basis kind then [ g ]
-      else invalid_arg "Translate.two_q_to_visible: non-visible 2Q gate"
-    | Ccx _ | Cswap _ -> invalid_arg "Translate.two_q_to_visible: not flattened"
+      else
+        Analysis.Diag.invalid ~rule:"gate.set" ~layer:"translation"
+          ~loc:(Analysis.Diag.Pair (a, b)) "%s is not software-visible in basis %s"
+          (Ir.Gate.to_string g) (Gateset.basis_name basis)
+    | Ccx _ | Cswap _ ->
+      Analysis.Diag.invalid ~rule:"circuit.flat" ~layer:"translation"
+        "circuit not flattened: %s" (Ir.Gate.to_string g)
     | (One _ | Measure _) as other -> [ other ]
   in
   Ir.Circuit.create c.Ir.Circuit.n_qubits (List.concat_map rewrite c.Ir.Circuit.gates)

@@ -6,6 +6,16 @@ type program = {
   qubit_names : (string * int) list;
 }
 
+type event =
+  | Reg_decl of { name : string; base : int; size : int; line : int }
+  | Gate_use of { qubit : int; line : int }
+  | Measure_use of { qubit : int; line : int }
+
+type traced = {
+  result : (program, string * int) result;
+  events : event list;
+}
+
 (* Global lowering state (gates, readout, qubit allocator) plus a
    per-call lexical context: registers in scope and loop variables. *)
 type state = {
@@ -14,6 +24,7 @@ type state = {
   mutable gates : Ir.Gate.t list;  (** reversed *)
   mutable measured : int list;  (** reversed *)
   mutable qubit_names : (string * int) list;  (** reversed *)
+  mutable events : event list;  (** reversed; the linter's trace *)
 }
 
 type context = {
@@ -72,6 +83,8 @@ let resolve_qubit ctx line (r : Ast.qubit_ref) =
       base + i)
 
 let emit st g = st.gates <- g :: st.gates
+
+let record st e = st.events <- e :: st.events
 
 let apply_primitive st ctx line name angles qubits =
   let a = Array.of_list angles in
@@ -157,6 +170,7 @@ let rec exec_stmt st ctx (s : Ast.stmt) =
       st.qubit_names <-
         (Printf.sprintf "%s%s[%d]" ctx.scope name i, base + i) :: st.qubit_names
     done;
+    record st (Reg_decl { name = ctx.scope ^ name; base; size; line });
     { ctx with registers = (name, (base, size)) :: ctx.registers }
   | Gate { name; angles; qubits; line } -> (
     match List.assoc_opt name st.modules with
@@ -170,6 +184,7 @@ let rec exec_stmt st ctx (s : Ast.stmt) =
       let distinct = List.sort_uniq compare qubit_values in
       if List.length distinct <> List.length qubit_values then
         fail line "gate %s applied with repeated qubit operands" name;
+      List.iter (fun q -> record st (Gate_use { qubit = q; line })) qubit_values;
       apply_primitive st ctx line name angle_values qubit_values;
       ctx)
   | For { var; from_; to_; body; line } ->
@@ -186,6 +201,7 @@ let rec exec_stmt st ctx (s : Ast.stmt) =
     let q = resolve_qubit ctx line target in
     if List.mem q st.measured then fail line "qubit measured twice";
     st.measured <- q :: st.measured;
+    record st (Measure_use { qubit = q; line });
     emit st (Ir.Gate.Measure q);
     ctx
   | Measure_all { register; line } -> (
@@ -196,6 +212,7 @@ let rec exec_stmt st ctx (s : Ast.stmt) =
         let q = base + i in
         if List.mem q st.measured then fail line "qubit measured twice";
         st.measured <- q :: st.measured;
+        record st (Measure_use { qubit = q; line });
         emit st (Ir.Gate.Measure q)
       done;
       ctx)
@@ -223,28 +240,39 @@ and call_module st ctx line (callee : Ast.module_def) args =
   in
   ignore (exec_block st callee_ctx callee.Ast.body)
 
-let lower (ast : Ast.t) =
+let lower_traced (ast : Ast.t) =
   let modules = List.map (fun (m : Ast.module_def) -> (m.Ast.name, m)) ast.Ast.modules in
-  let main =
-    match List.assoc_opt "main" modules with
-    | Some m -> m
-    | None -> raise (Error ("program has no module \"main\"", 1))
-  in
-  if main.Ast.params <> [] then
-    raise (Error ("module \"main\" must take no parameters", main.Ast.line));
   let st =
-    { modules; next_qubit = 0; gates = []; measured = []; qubit_names = [] }
+    { modules; next_qubit = 0; gates = []; measured = []; qubit_names = []; events = [] }
   in
-  ignore
-    (exec_block st
-       { registers = []; loop_vars = []; depth = 0; scope = "" }
-       main.Ast.body);
-  if st.next_qubit = 0 then raise (Error ("program declares no qubits", 1));
-  {
-    circuit = Ir.Circuit.create st.next_qubit (List.rev st.gates);
-    measured = List.rev st.measured;
-    qubit_names = List.rev st.qubit_names;
-  }
+  let result =
+    try
+      let main =
+        match List.assoc_opt "main" modules with
+        | Some m -> m
+        | None -> raise (Error ("program has no module \"main\"", 1))
+      in
+      if main.Ast.params <> [] then
+        raise (Error ("module \"main\" must take no parameters", main.Ast.line));
+      ignore
+        (exec_block st
+           { registers = []; loop_vars = []; depth = 0; scope = "" }
+           main.Ast.body);
+      if st.next_qubit = 0 then raise (Error ("program declares no qubits", 1));
+      Ok
+        {
+          circuit = Ir.Circuit.create st.next_qubit (List.rev st.gates);
+          measured = List.rev st.measured;
+          qubit_names = List.rev st.qubit_names;
+        }
+    with Error (msg, line) -> (Error (msg, line) : (program, string * int) result)
+  in
+  { result; events = List.rev st.events }
+
+let lower (ast : Ast.t) =
+  match (lower_traced ast).result with
+  | Ok p -> p
+  | Error (msg, line) -> raise (Error (msg, line))
 
 let compile_string source = lower (Parser.parse source)
 

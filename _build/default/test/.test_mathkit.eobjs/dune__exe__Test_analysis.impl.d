@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Bench_kit Device Float Ir List Option Printf Sim String Triq

@@ -1,0 +1,264 @@
+module Gateset = Device.Gateset
+module Topology = Device.Topology
+module Machine = Device.Machine
+
+let catalog =
+  [
+    ("circuit.bounds", "every gate operand is a valid qubit index");
+    ("circuit.arity", "a gate's operands are pairwise distinct");
+    ("circuit.flat", "no undecomposed multi-qubit gate remains");
+    ("gate.set", "every gate is software-visible in the target basis");
+    ("topo.coupling", "every 2Q gate acts on a coupled hardware pair");
+    ("topo.direction", "CNOT orientation matches the directed coupling map");
+    ("measure.once", "no qubit is measured twice");
+    ("measure.order", "no gate touches a qubit after its measurement");
+    ("exec.placement", "placement arrays are injective and in range");
+    ("exec.readout", "readout map covers measured qubits and matches final placement");
+    ("exec.esp", "estimated success probability lies in [0, 1]");
+    ("exec.count-2q", "2Q counter equals the hardware circuit's 2Q gate count");
+    ("exec.count-pulse", "pulse counter equals the hardware circuit's pulse count");
+  ]
+
+(* Fold a rule over the gate list with its index, collecting diagnostics. *)
+let over_gates gates f =
+  List.rev (snd (List.fold_left (fun (i, acc) g -> (i + 1, f i acc g)) (0, []) gates))
+
+let qubit_bounds ~n_qubits ~layer gates =
+  over_gates gates (fun i acc g ->
+      List.fold_left
+        (fun acc q ->
+          if q < 0 || q >= n_qubits then
+            Diag.errorf ~rule:"circuit.bounds" ~layer ~loc:(Diag.Gate i)
+              "%s uses qubit %d outside [0, %d)" (Ir.Gate.to_string g) q n_qubits
+            :: acc
+          else acc)
+        acc (Ir.Gate.qubits g))
+
+let distinct qs =
+  let sorted = List.sort compare qs in
+  let rec check = function
+    | a :: (b :: _ as rest) -> a <> b && check rest
+    | [ _ ] | [] -> true
+  in
+  check sorted
+
+let operand_distinct ~layer gates =
+  over_gates gates (fun i acc g ->
+      if distinct (Ir.Gate.qubits g) then acc
+      else
+        Diag.errorf ~rule:"circuit.arity" ~layer ~loc:(Diag.Gate i)
+          "%s repeats an operand" (Ir.Gate.to_string g)
+        :: acc)
+
+let flattened ~layer gates =
+  over_gates gates (fun i acc g ->
+      match (g : Ir.Gate.t) with
+      | Ccx _ | Cswap _ ->
+        Diag.errorf ~rule:"circuit.flat" ~layer ~loc:(Diag.Gate i)
+          "undecomposed multi-qubit gate %s" (Ir.Gate.to_string g)
+        :: acc
+      | One _ | Two _ | Measure _ -> acc)
+
+let gateset ~layer basis gates =
+  over_gates gates (fun i acc g ->
+      if Gateset.gate_visible basis g then acc
+      else
+        Diag.errorf ~rule:"gate.set" ~layer ~loc:(Diag.Gate i)
+          "%s is not software-visible in basis %s" (Ir.Gate.to_string g)
+          (Gateset.basis_name basis)
+        :: acc)
+
+let coupling ~layer topology gates =
+  let n = Topology.n_qubits topology in
+  over_gates gates (fun i acc g ->
+      match (g : Ir.Gate.t) with
+      | Two (_, a, b)
+        when a >= 0 && a < n && b >= 0 && b < n && not (Topology.coupled topology a b)
+        ->
+        Diag.errorf ~rule:"topo.coupling" ~layer ~loc:(Diag.Gate i)
+          "%s acts on uncoupled pair q%d-q%d" (Ir.Gate.to_string g) a b
+        :: acc
+      | _ -> acc)
+
+let direction ~layer topology gates =
+  if not (Topology.directed topology) then []
+  else
+    let n = Topology.n_qubits topology in
+    over_gates gates (fun i acc g ->
+        match (g : Ir.Gate.t) with
+        | Two (Cnot, a, b)
+          when a >= 0 && a < n && b >= 0 && b < n
+               && Topology.coupled topology a b
+               && not (Topology.has_directed_edge topology a b) ->
+          Diag.errorf ~rule:"topo.direction" ~layer ~loc:(Diag.Gate i)
+            "CNOT q%d->q%d runs against the directed coupling" a b
+          :: acc
+        | _ -> acc)
+
+let measure_once ~layer gates =
+  let seen = Hashtbl.create 8 in
+  over_gates gates (fun i acc g ->
+      match (g : Ir.Gate.t) with
+      | Measure q ->
+        if Hashtbl.mem seen q then
+          Diag.errorf ~rule:"measure.once" ~layer ~loc:(Diag.Gate i)
+            "qubit %d measured a second time" q
+          :: acc
+        else begin
+          Hashtbl.add seen q ();
+          acc
+        end
+      | _ -> acc)
+
+let measure_order ~layer gates =
+  let measured = Hashtbl.create 8 in
+  over_gates gates (fun i acc g ->
+      match (g : Ir.Gate.t) with
+      | Measure q ->
+        if not (Hashtbl.mem measured q) then Hashtbl.add measured q ();
+        acc
+      | g ->
+        List.fold_left
+          (fun acc q ->
+            if Hashtbl.mem measured q then
+              Diag.errorf ~rule:"measure.order" ~layer ~loc:(Diag.Gate i)
+                "%s touches qubit %d after its measurement" (Ir.Gate.to_string g) q
+              :: acc
+            else acc)
+          acc (Ir.Gate.qubits g))
+
+let placement ~layer ~what ~n_hardware arr =
+  let diags = ref [] in
+  let seen = Array.make (max n_hardware 1) false in
+  Array.iteri
+    (fun p h ->
+      if h < 0 || h >= n_hardware then
+        diags :=
+          Diag.errorf ~rule:"exec.placement" ~layer ~loc:(Diag.Qubit p)
+            "%s maps program qubit %d to %d outside [0, %d)" what p h n_hardware
+          :: !diags
+      else if seen.(h) then
+        diags :=
+          Diag.errorf ~rule:"exec.placement" ~layer ~loc:(Diag.Qubit p)
+            "%s is not injective: hardware qubit %d assigned twice" what h
+          :: !diags
+      else seen.(h) <- true)
+    arr;
+  List.rev !diags
+
+let readout ~layer ?measured ~final_placement ~hardware map =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_program = Array.length final_placement in
+  List.iter
+    (fun (p, h) ->
+      if p < 0 || p >= n_program then
+        add
+          (Diag.errorf ~rule:"exec.readout" ~layer ~loc:(Diag.Qubit p)
+             "readout map names unknown program qubit %d" p)
+      else if final_placement.(p) <> h then
+        add
+          (Diag.errorf ~rule:"exec.readout" ~layer ~loc:(Diag.Qubit p)
+             "readout map sends program qubit %d to hardware qubit %d, but the \
+              final placement holds it on %d"
+             p h final_placement.(p)))
+    map;
+  let domain = List.sort_uniq compare (List.map fst map) in
+  if List.length domain <> List.length map then
+    add
+      (Diag.errorf ~rule:"exec.readout" ~layer
+         "readout map lists a program qubit more than once");
+  (match measured with
+  | None -> ()
+  | Some measured ->
+    let expected = List.sort_uniq compare measured in
+    if domain <> expected then
+      add
+        (Diag.errorf ~rule:"exec.readout" ~layer
+           "readout map covers program qubits [%s] but the program measures [%s]"
+           (String.concat ";" (List.map string_of_int domain))
+           (String.concat ";" (List.map string_of_int expected))));
+  let codomain = List.sort_uniq compare (List.map snd map) in
+  let hw_measured = Ir.Circuit.measured_qubits hardware in
+  if codomain <> hw_measured then
+    add
+      (Diag.errorf ~rule:"exec.readout" ~layer
+         "executable measures hardware qubits [%s] but the readout map expects [%s]"
+         (String.concat ";" (List.map string_of_int hw_measured))
+         (String.concat ";" (List.map string_of_int codomain)));
+  List.rev !diags
+
+let esp_range ~layer esp =
+  if Float.is_nan esp || esp < 0.0 || esp > 1.0 then
+    [
+      Diag.errorf ~rule:"exec.esp" ~layer
+        "estimated success probability %g outside [0, 1]" esp;
+    ]
+  else []
+
+let two_q_counter ~layer ~hardware count =
+  let actual = Ir.Circuit.two_q_count hardware in
+  if actual <> count then
+    [
+      Diag.errorf ~rule:"exec.count-2q" ~layer
+        "2Q counter records %d but the hardware circuit has %d" count actual;
+    ]
+  else []
+
+let pulse_counter ~layer basis ~hardware count =
+  (* Only meaningful on a flattened, fully-visible circuit; otherwise the
+     flat/gate-set rules already report and the pulse count is undefined. *)
+  if
+    flattened ~layer hardware.Ir.Circuit.gates <> []
+    || gateset ~layer basis hardware.Ir.Circuit.gates <> []
+  then []
+  else
+    let actual = Gateset.circuit_pulse_count basis hardware in
+    if actual <> count then
+      [
+        Diag.errorf ~rule:"exec.count-pulse" ~layer
+          "pulse counter records %d but the hardware circuit costs %d pulses" count
+          actual;
+      ]
+    else []
+
+type executable = {
+  machine : Machine.t;
+  hardware : Ir.Circuit.t;
+  initial_placement : int array;
+  final_placement : int array;
+  readout_map : (int * int) list;
+  measured : int list option;
+  two_q_count : int;
+  pulse_count : int;
+  esp : float;
+}
+
+let check_executable e =
+  let layer = "executable" in
+  let gates = e.hardware.Ir.Circuit.gates in
+  let n_hw = Machine.n_qubits e.machine in
+  let topology = e.machine.Machine.topology in
+  let basis = e.machine.Machine.basis in
+  let diags =
+    List.concat
+      [
+        qubit_bounds ~n_qubits:n_hw ~layer gates;
+        operand_distinct ~layer gates;
+        flattened ~layer gates;
+        gateset ~layer basis gates;
+        coupling ~layer topology gates;
+        direction ~layer topology gates;
+        measure_once ~layer gates;
+        measure_order ~layer gates;
+        placement ~layer ~what:"initial placement" ~n_hardware:n_hw
+          e.initial_placement;
+        placement ~layer ~what:"final placement" ~n_hardware:n_hw e.final_placement;
+        readout ~layer ?measured:e.measured ~final_placement:e.final_placement
+          ~hardware:e.hardware e.readout_map;
+        esp_range ~layer e.esp;
+        two_q_counter ~layer ~hardware:e.hardware e.two_q_count;
+        pulse_counter ~layer basis ~hardware:e.hardware e.pulse_count;
+      ]
+  in
+  List.sort_uniq Diag.compare diags

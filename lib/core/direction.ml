@@ -4,7 +4,9 @@ let needs_flip topology a b =
   if not (Topology.directed topology) then false
   else if Topology.has_directed_edge topology a b then false
   else if Topology.has_directed_edge topology b a then true
-  else invalid_arg (Printf.sprintf "Direction: CNOT on uncoupled pair (%d,%d)" a b)
+  else
+    Analysis.Diag.invalid ~rule:"topo.coupling" ~layer:"orientation"
+      ~loc:(Analysis.Diag.Pair (a, b)) "CNOT on uncoupled pair q%d-q%d" a b
 
 let fix topology (c : Ir.Circuit.t) =
   if not (Topology.directed topology) then c

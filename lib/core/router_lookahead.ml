@@ -95,7 +95,10 @@ let route ?(lookahead = 4) reliability topology ~placement (c : Ir.Circuit.t) =
                 | exception Not_found -> None)
             (Topology.neighbors topology ha)
       in
-      if candidates = [] then invalid_arg "Router_lookahead: operands unreachable";
+      if candidates = [] then
+        Analysis.Diag.invalid ~rule:"topo.coupling" ~layer:"routing"
+          ~loc:(Analysis.Diag.Pair (ha, hb))
+          "lookahead router: no swap path between hardware qubits %d and %d" ha hb;
       let scored =
         List.map
           (fun (who, path, gate_rel) ->
@@ -123,7 +126,10 @@ let route ?(lookahead = 4) reliability topology ~placement (c : Ir.Circuit.t) =
       in
       step best_path;
       if not (Topology.coupled topology cur.(a) cur.(b)) then
-        invalid_arg "Router_lookahead: path failed to co-locate operands";
+        Analysis.Diag.invalid ~rule:"topo.coupling" ~layer:"routing"
+          ~loc:(Analysis.Diag.Pair (cur.(a), cur.(b)))
+          "lookahead router: swap path failed to co-locate program qubits %d and %d" a
+          b;
       emit (Ir.Gate.Two (kind, cur.(a), cur.(b)))
     end
   in
@@ -133,7 +139,9 @@ let route ?(lookahead = 4) reliability topology ~placement (c : Ir.Circuit.t) =
       | One (k, p) -> emit (Ir.Gate.One (k, cur.(p)))
       | Measure p -> emit (Ir.Gate.Measure cur.(p))
       | Two (kind, a, b) -> route_two i kind a b
-      | Ccx _ | Cswap _ -> invalid_arg "Router_lookahead: circuit not flattened")
+      | Ccx _ | Cswap _ ->
+        Analysis.Diag.invalid ~rule:"circuit.flat" ~layer:"routing"
+          "circuit not flattened: %s" (Ir.Gate.to_string g))
     gates;
   {
     Router.circuit = Ir.Circuit.create n_hardware (List.rev !out);

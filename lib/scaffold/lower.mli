@@ -15,8 +15,28 @@ type program = {
   qubit_names : (string * int) list;  (** ["q[2]" -> 5] debug mapping *)
 }
 
+(** The execution-order trace the linter consumes: register allocations,
+    gate operand uses and measurements, each with the source line of the
+    statement that caused them. Register names are scope-qualified
+    (["sub.q"] for a declaration inside module [sub]). *)
+type event =
+  | Reg_decl of { name : string; base : int; size : int; line : int }
+  | Gate_use of { qubit : int; line : int }
+  | Measure_use of { qubit : int; line : int }
+
+type traced = {
+  result : (program, string * int) result;
+      (** the lowered program, or the first hard error (message, line) *)
+  events : event list;  (** trace up to the point of failure, in order *)
+}
+
 (** [lower ast] elaborates a parsed program. *)
 val lower : Ast.t -> program
+
+(** [lower_traced ast] is [lower] but never raises {!Error}: it returns
+    the first hard error alongside the event trace accumulated so far, so
+    static analysis can keep reporting on partially-invalid programs. *)
+val lower_traced : Ast.t -> traced
 
 (** [compile_string source] parses and lowers in one step. *)
 val compile_string : string -> program
