@@ -3,11 +3,17 @@
    with Bechamel.
 
    Usage:
-     main.exe            run every experiment, then the timing suite
-     main.exe quick      same with fewer noise trajectories (CI-friendly)
-     main.exe <id>       one experiment: fig1 fig2 fig3 tab1 fig5 fig6 fig7
-                         fig8 fig9 fig10 fig11 fig12 scaling related
-     main.exe timings    only the Bechamel timing suite *)
+     main.exe [-j N]         run every experiment, then the timing suite
+     main.exe [-j N] quick   same with fewer noise trajectories (CI-friendly)
+     main.exe [-j N] <id>    one experiment: fig1 fig2 fig3 tab1 fig5 fig6
+                             fig7 fig8 fig9 fig10 fig11 fig12 scaling related
+     main.exe [-j N] timings only the timing suite; also writes
+                             BENCH_timings.json (per-stage ns/run,
+                             sequential vs parallel, cache effect)
+     main.exe smoke          fast determinism + cache smoke test (runtest)
+
+   -j N sizes the domain pool (default: Domain.recommended_domain_count);
+   results are bit-for-bit identical for every N. *)
 
 module E = Bench_kit.Experiments
 
@@ -100,10 +106,8 @@ let timing_tests =
         ignore (E.ablation_lookahead_data ~trajectories:quick_traj ()));
   ]
 
-let run_timings () =
+let collect_timings () =
   let open Bechamel in
-  print_newline ();
-  print_endline "== Bechamel timing suite (per-experiment harness cost) ==";
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
@@ -112,31 +116,189 @@ let run_timings () =
     Analyze.ols ~bootstrap:0 ~r_square:false
       ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
-        (fun (name, elt) ->
+      List.map
+        (fun elt ->
+          let name = Test.Elt.name elt in
           let raw = Benchmark.run cfg instances elt in
           let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
           match Analyze.OLS.estimates result with
-          | Some [ ns ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name ns
-          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
-        (List.map (fun elt -> (Test.Elt.name elt, elt)) (Test.elements test)))
+          | Some [ ns ] ->
+            Printf.printf "%-28s %12.0f ns/run\n%!" name ns;
+            (name, Some ns)
+          | _ ->
+            Printf.printf "%-28s (no estimate)\n%!" name;
+            (name, None))
+        (Test.elements test))
     timing_tests
 
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Sequential-vs-parallel wall clock on a fig9-style trajectory workload:
+   one compiled executable, 300 Monte-Carlo trajectories. The outcomes
+   must be identical — the pool only changes where trajectories run. *)
+let seq_vs_par () =
+  let p = Bench_kit.Programs.bv 6 in
+  let compiled =
+    Triq.Pipeline.to_compiled
+      (Triq.Pipeline.compile Device.Machines.ibmq14 p.Bench_kit.Programs.circuit
+         ~level:Triq.Pipeline.OneQOptCN)
+  in
+  let spec = p.Bench_kit.Programs.spec in
+  let run pool = Sim.Runner.run ~trajectories:300 ~pool compiled spec in
+  let jobs = Parallel.Pool.default_jobs () in
+  Parallel.Pool.with_pool ~jobs:1 (fun seq_pool ->
+      Parallel.Pool.with_pool ~jobs (fun par_pool ->
+          ignore (run seq_pool);
+          (* warm code + allocator *)
+          let o1, seq_s = wall (fun () -> run seq_pool) in
+          let o2, par_s = wall (fun () -> run par_pool) in
+          if o1.Sim.Runner.distribution <> o2.Sim.Runner.distribution then
+            failwith "parallel trajectory run diverged from sequential";
+          (seq_s, par_s, jobs)))
+
+(* Reliability-matrix cache: per-call cost cached vs uncached, plus the
+   hit rate over a real sweep (fig10's compile grid). *)
+let cache_effect () =
+  let machine = Device.Machines.ibmq16 in
+  let calibration = Device.Machine.calibration machine ~day:0 in
+  let reps = 50 in
+  let (), uncached_s =
+    wall (fun () ->
+        for _ = 1 to reps do
+          ignore (Triq.Reliability.compute ~noise_aware:true machine calibration)
+        done)
+  in
+  Triq.Reliability.cache_clear ();
+  let (), cached_s =
+    wall (fun () ->
+        for _ = 1 to reps do
+          ignore (Triq.Reliability.compute_cached ~noise_aware:true machine ~day:0)
+        done)
+  in
+  Triq.Reliability.cache_clear ();
+  ignore (E.fig10_counts ());
+  let hits, misses = Triq.Reliability.cache_stats () in
+  ( uncached_s /. float_of_int reps,
+    cached_s /. float_of_int reps,
+    hits,
+    misses )
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c when Char.code c < 32 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_timings_json path stages (seq_s, par_s, jobs) (unc, cac, hits, misses) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"stages\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (match ns with Some ns -> Printf.sprintf "%.0f" ns | None -> "null")
+        (if i = List.length stages - 1 then "" else ","))
+    stages;
+  out "  ],\n";
+  out
+    "  \"trajectory_experiment\": {\"name\": \"fig9-style bv6@ibmq14 300 \
+     trajectories\", \"sequential_ns\": %.0f, \"parallel_ns\": %.0f, \
+     \"parallel_jobs\": %d, \"speedup\": %.3f},\n"
+    (seq_s *. 1e9) (par_s *. 1e9) jobs
+    (if par_s > 0.0 then seq_s /. par_s else Float.nan);
+  out
+    "  \"reliability_cache\": {\"uncached_ns_per_call\": %.0f, \
+     \"cached_ns_per_call\": %.0f, \"sweep\": \"fig10 compile grid\", \
+     \"sweep_hits\": %d, \"sweep_misses\": %d}\n"
+    (unc *. 1e9) (cac *. 1e9) hits misses;
+  out "}\n";
+  close_out oc
+
+let run_timings () =
+  print_newline ();
+  print_endline "== Bechamel timing suite (per-experiment harness cost) ==";
+  let stages = collect_timings () in
+  let sp = seq_vs_par () in
+  let ce = cache_effect () in
+  let seq_s, par_s, jobs = sp in
+  Printf.printf "trajectory experiment: sequential %.3fs, parallel %.3fs (-j %d, %.2fx)\n"
+    seq_s par_s jobs
+    (if par_s > 0.0 then seq_s /. par_s else Float.nan);
+  let unc, cac, hits, misses = ce in
+  Printf.printf
+    "reliability matrix: uncached %.0f ns/call, cached %.0f ns/call; fig10 sweep: %d hits, %d misses\n"
+    (unc *. 1e9) (cac *. 1e9) hits misses;
+  write_timings_json "BENCH_timings.json" stages sp ce;
+  print_endline "wrote BENCH_timings.json"
+
+(* A CI-fast correctness gate (wired under `dune runtest`): the parallel
+   execution layer must be invisible in the results. *)
+let run_smoke () =
+  let traj = 5 in
+  let grid jobs =
+    Parallel.Pool.set_default_jobs jobs;
+    E.fig9_data ~trajectories:traj ()
+  in
+  let seq = grid 1 in
+  let par = grid 4 in
+  if seq <> par then begin
+    prerr_endline "SMOKE FAIL: fig9 grid differs between -j 1 and -j 4";
+    exit 1
+  end;
+  let machine = Device.Machines.ibmq14 in
+  let calibration = Device.Machine.calibration machine ~day:2 in
+  Triq.Reliability.cache_clear ();
+  let cached = Triq.Reliability.compute_cached ~noise_aware:true machine ~day:2 in
+  let fresh = Triq.Reliability.compute ~noise_aware:true machine calibration in
+  if not (Triq.Reliability.equal cached fresh) then begin
+    prerr_endline "SMOKE FAIL: cached reliability matrix differs from fresh";
+    exit 1
+  end;
+  Printf.printf
+    "smoke ok: fig9 grid (%d trajectories) identical at -j 1 and -j 4; reliability cache exact\n"
+    traj
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [ "timings" ] -> run_timings ()
-  | _ :: [ "quick" ] ->
+  let argv = Array.to_list Sys.argv in
+  (* Optional leading `-j N` sizes the domain pool for everything below. *)
+  let args =
+    match argv with
+    | _ :: "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some jobs when jobs >= 1 ->
+        Parallel.Pool.set_default_jobs jobs;
+        rest
+      | _ ->
+        Printf.eprintf "bench: -j expects a positive integer, got %S\n" n;
+        exit 2)
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  match args with
+  | [ "timings" ] -> run_timings ()
+  | [ "smoke" ] -> run_smoke ()
+  | [ "quick" ] ->
     List.iter
       (fun ((_, f) : string * (?trajectories:int -> unit -> unit)) ->
         f ~trajectories:50 ())
       experiments
-  | _ :: [ name ] -> (
+  | [ name ] -> (
     match List.assoc_opt name experiments with
     | Some (f : ?trajectories:int -> unit -> unit) -> f ()
     | None ->
-      Printf.eprintf "unknown experiment %S; known: %s timings quick\n" name
+      Printf.eprintf "unknown experiment %S; known: %s timings quick smoke\n" name
         (String.concat " " (List.map fst experiments));
       exit 2)
   | _ ->

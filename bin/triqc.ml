@@ -76,6 +76,26 @@ let day_arg =
   let doc = "Calibration day to compile against." in
   Arg.(value & opt int 0 & info [ "day" ] ~docv:"DAY" ~doc)
 
+(* Evaluates to () after sizing the shared domain pool; subcommands that
+   simulate or sweep thread this term in so -j takes effect before any
+   parallel work starts. Results are bit-for-bit identical for every N. *)
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel trajectory simulation and sweeps \
+     (default: the number of cores). Any value yields identical results; \
+     only wall-clock time changes."
+  in
+  let setup = function
+    | None -> ()
+    | Some j when j >= 1 -> Parallel.Pool.set_default_jobs j
+    | Some j ->
+      Printf.eprintf "triqc: --jobs expects a positive count, got %d\n" j;
+      exit 2
+  in
+  Term.(
+    const setup
+    $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
+
 let file_arg =
   let doc = "Scaffold source file." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
@@ -132,7 +152,7 @@ let simulate_cmd =
       value & opt int 300
       & info [ "trajectories" ] ~docv:"N" ~doc:"Monte-Carlo noise trajectories.")
   in
-  let run file machine_name level_name day trials trajectories =
+  let run () file machine_name level_name day trials trajectories =
     match compile_common file machine_name level_name with
     | Error msg ->
       Printf.eprintf "triqc: %s\n" msg;
@@ -175,11 +195,11 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ file_arg $ machine_arg $ level_arg $ day_arg $ trials_arg
-      $ trajectories_arg)
+      const run $ jobs_arg $ file_arg $ machine_arg $ level_arg $ day_arg
+      $ trials_arg $ trajectories_arg)
 
 let sweep_cmd =
-  let run file machine_name day =
+  let run () file machine_name day =
     let ( let* ) = Result.bind in
     let result =
       let* machine = find_machine machine_name in
@@ -230,7 +250,9 @@ let sweep_cmd =
       end
   in
   let doc = "Compare all four optimization levels on one program (Table 1 sweep)." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ file_arg $ machine_arg $ day_arg)
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const run $ jobs_arg $ file_arg $ machine_arg $ day_arg)
 
 let draw_cmd =
   let compiled_arg =
@@ -557,7 +579,7 @@ let bench_cmd =
       & info [ "run" ] ~docv:"MACHINE"
           ~doc:"Compile and execute every fitting benchmark on MACHINE (name or JSON file), printing success rates.")
   in
-  let run machine_spec day =
+  let run () machine_spec day =
     match machine_spec with
     | None ->
       List.iter
@@ -600,7 +622,7 @@ let bench_cmd =
         0)
   in
   let doc = "List the built-in benchmarks, or run them all on a machine (--run)." in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ run_arg $ day_arg)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ jobs_arg $ run_arg $ day_arg)
 
 let () =
   let doc = "TriQ: a multi-vendor noise-adaptive quantum compiler." in

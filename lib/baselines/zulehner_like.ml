@@ -64,7 +64,9 @@ let compile ?(day = 0) machine circuit =
   let placement = greedy_placement machine flat in
   let calibration = Machine.calibration machine ~day in
   (* Hop-count routing = noise-unaware reliability matrix. *)
-  let reliability = Triq.Reliability.compute ~noise_aware:false machine calibration in
+  let reliability =
+    Triq.Reliability.compute_cached ~noise_aware:false ~calibration machine ~day
+  in
   let routed =
     Triq.Router.route reliability machine.Machine.topology ~placement flat
   in

@@ -8,6 +8,16 @@ module Stats = Mathkit.Stats
 
 type 'a row = { bench : string; values : (string * 'a option) list }
 
+(* Grid rows (compile + simulate per benchmark/machine/level/day) are
+   independent, so they fan out across the process-wide domain pool.
+   Each row's work is self-contained — Runner.run seeds its own RNG —
+   so every grid below is bit-for-bit identical for any pool size; the
+   [-j] flags of bench/main and triqc resize the pool via
+   [Parallel.Pool.set_default_jobs]. *)
+let pmap f xs = Parallel.Pool.map (Parallel.Pool.default ()) f xs
+let pfilter_map f xs = List.filter_map Fun.id (pmap f xs)
+let pmap_range n f = pmap f (List.init n Fun.id)
+
 let benches () = Programs.all
 
 (* Compile [p] on [machine] at [level]; None when it does not fit. *)
@@ -166,7 +176,7 @@ let fig8_data () =
   List.map
     (fun machine ->
       let rows =
-        List.map
+        pmap
           (fun (p : Programs.t) ->
             let pulses level =
               Option.map (fun r -> r.Pipeline.pulse_count) (try_compile machine level p)
@@ -223,7 +233,7 @@ let fig9_data ?trajectories () =
   List.map
     (fun machine ->
       let rows =
-        List.map
+        pmap
           (fun (p : Programs.t) ->
             {
               bench = p.Programs.name;
@@ -256,7 +266,7 @@ let fig10_counts () =
   List.map
     (fun machine ->
       let rows =
-        List.map
+        pmap
           (fun (p : Programs.t) ->
             let twoq level =
               Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p)
@@ -276,7 +286,7 @@ let fig10_counts () =
 
 let fig10_success ?trajectories () =
   let machine = Machines.ibmq14 in
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       {
         bench = p.Programs.name;
@@ -322,7 +332,7 @@ let baseline_success ?day ?trajectories machine which p =
 
 let fig11_counts () =
   let machine = Machines.ibmq14 in
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       let triq level =
         Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p)
@@ -345,7 +355,7 @@ let fig11_counts () =
 
 let fig11_ibm_success ?trajectories () =
   let machine = Machines.ibmq14 in
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       {
         bench = p.Programs.name;
@@ -362,7 +372,7 @@ let fig11_rigetti_success ?trajectories () =
   List.map
     (fun machine ->
       let rows =
-        List.map
+        pmap
           (fun (p : Programs.t) ->
             {
               bench = p.Programs.name;
@@ -381,7 +391,7 @@ let fig11_sequences ?trajectories () =
   let machine = Machines.umdti in
   let series name programs =
     ( name,
-      List.map
+      pmap
         (fun (p : Programs.t) ->
           {
             bench = p.Programs.name;
@@ -428,7 +438,7 @@ let print_fig11 ?trajectories () =
 (* ---------- Figure 12 ---------- *)
 
 let fig12_data ?trajectories () =
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       {
         bench = p.Programs.name;
@@ -458,7 +468,7 @@ let scaling_grids depth =
   ]
 
 let scaling_data ?(node_budget = 20_000) ?(depth = 16) () =
-  List.map
+  pmap
     (fun (rows, cols, depth) ->
       let n = rows * cols in
       let machine = Machines.bristlecone rows cols in
@@ -487,7 +497,7 @@ let print_scaling ?node_budget ?depth () =
 
 let related_data () =
   let machine = Machines.ibmq16 in
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       let zulehner =
         Option.map
@@ -538,7 +548,7 @@ let ablation_mapper_data ?(node_budget = 200_000) () =
   let machine = Machines.ibmq16 in
   let calibration = Machine.calibration machine ~day:0 in
   let reliability = Triq.Reliability.compute ~noise_aware:true machine calibration in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
@@ -578,7 +588,7 @@ let print_ablation_mapper () =
 (* Peephole ablation: adjacent self-inverse 2Q pairs produced by routing. *)
 let ablation_peephole_data () =
   let machine = Machines.ibmq14 in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
@@ -619,7 +629,7 @@ let iontrap_programs () =
 
 let iontrap_data ?trajectories ?(ions = 13) () =
   let machine = Machines.ion_trap_chain ions in
-  List.map
+  pmap
     (fun (p : Programs.t) ->
       {
         bench = p.Programs.name;
@@ -647,7 +657,7 @@ let print_iontrap ?trajectories () =
 let tannu_data ?trajectories () =
   let machine = Machines.ibmq5 in
   let p = Programs.bv 4 in
-  List.map
+  pmap
     (fun day ->
       let triq = try_success ~day ?trajectories machine Pipeline.OneQOptCN p in
       let qiskit = baseline_success ~day ?trajectories machine `Qiskit p in
@@ -680,7 +690,7 @@ let run_extensions ?trajectories () =
    observation that gate errors, not coherence, limit NISQ programs. *)
 let coherence_data () =
   let p = Programs.toffoli in
-  List.map
+  pmap
     (fun machine ->
       let compiled =
         Pipeline.to_compiled
@@ -722,7 +732,7 @@ let print_coherence () =
 (* Characterization closure: randomized-benchmarking the simulated devices
    recovers the calibration error rates the compiler consumes. *)
 let characterize_data () =
-  List.map
+  pmap
     (fun (machine, a, b) ->
       let calibration = Machine.calibration machine ~day:0 in
       let noise = Sim.Noise.create machine calibration in
@@ -764,8 +774,12 @@ let hybrid_routing_compile ?(day = 0) machine (p : Programs.t) =
   let started_at = Sys.time () in
   let flat = Ir.Decompose.flatten p.Programs.circuit in
   let calibration = Machine.calibration machine ~day in
-  let aware = Triq.Reliability.compute ~noise_aware:true machine calibration in
-  let unaware = Triq.Reliability.compute ~noise_aware:false machine calibration in
+  let aware =
+    Triq.Reliability.compute_cached ~noise_aware:true ~calibration machine ~day
+  in
+  let unaware =
+    Triq.Reliability.compute_cached ~noise_aware:false ~calibration machine ~day
+  in
   let placement = (Triq.Mapper.solve aware flat).Triq.Mapper.placement in
   let routed = Triq.Router.route unaware machine.Machine.topology ~placement flat in
   Baselines.Common.finalize machine ~compiler:"TriQ-hybrid" ~day ~program:flat
@@ -775,7 +789,7 @@ let hybrid_routing_compile ?(day = 0) machine (p : Programs.t) =
 
 let ablation_routing_data ?trajectories () =
   let machine = Machines.ibmq14 in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
@@ -812,7 +826,7 @@ let staleness_data ?trajectories ?(days = 8) () =
     Pipeline.to_compiled
       (Pipeline.compile ~day:0 machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
   in
-  List.init days (fun day ->
+  pmap_range days (fun day ->
       let stale =
         (Sim.Runner.run ?trajectories ~day stale_exe p.Programs.spec)
           .Sim.Runner.success_rate
@@ -851,7 +865,7 @@ let print_staleness ?trajectories () =
 let esp_correlation_data ?trajectories () =
   List.concat_map
     (fun machine ->
-      List.filter_map
+      pfilter_map
         (fun (p : Programs.t) ->
           Option.map
             (fun compiled ->
@@ -883,7 +897,7 @@ let print_esp_correlation ?trajectories () =
    too, not just the current one. *)
 let ablation_lookahead_data ?trajectories () =
   let machine = Machines.ibmq14 in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
@@ -1006,7 +1020,7 @@ let heavyhex_data ?trajectories () =
     Machine.create ~name:"HeavyHex14" ~basis:Gateset.Ibm_visible
       ~topology:(Topology.heavy_hex 3) ~profile ~seed:1401
   in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       match (try_success ?trajectories Machines.ibmq14 Pipeline.OneQOptCN p,
              try_success ?trajectories heavy Pipeline.OneQOptCN p) with
@@ -1031,7 +1045,7 @@ let variability_data ?trajectories ?(days = 10) () =
     (fun machine ->
       let p = Programs.bv 4 in
       ( machine.Machine.name,
-        List.init days (fun day ->
+        pmap_range days (fun day ->
             Option.value ~default:0.0
               (try_success ~day ?trajectories machine Pipeline.OneQOptCN p)) ))
     [ Machines.ibmq5; Machines.ibmq14; Machines.ibmq16 ]
@@ -1059,7 +1073,7 @@ let print_variability ?trajectories () =
 let parametric_data ?trajectories () =
   List.concat_map
     (fun (plain, parametric) ->
-      List.filter_map
+      pfilter_map
         (fun (p : Programs.t) ->
           if not (Machine.fits plain p.Programs.circuit) then None
           else begin
@@ -1101,7 +1115,7 @@ let print_parametric ?trajectories () =
    would be fragile. *)
 let noise_model_data ?trajectories () =
   let machine = Machines.ibmq14 in
-  List.filter_map
+  pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
@@ -1164,7 +1178,7 @@ let ghz_fidelity ?trajectories machine n =
        cos(n phi) component. *)
     let steps = 2 * n in
     let coherence_samples =
-      List.init steps (fun k ->
+      pmap_range steps (fun k ->
           let phi = Float.pi *. float_of_int k /. float_of_int steps in
           let rotate =
             List.init n (fun q -> One (Rz phi, q))

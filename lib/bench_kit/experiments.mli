@@ -6,7 +6,13 @@
     renders the same rows as a text table. [run_all] prints everything in
     paper order. Success-rate experiments accept [?trajectories] to trade
     precision for speed (tests use small values; the bench harness uses
-    the default). *)
+    the default).
+
+    Grid rows fan out across {!Parallel.Pool.default} (resize it with
+    [Parallel.Pool.set_default_jobs], i.e. the [-j] flags of bench/main
+    and triqc). Every row seeds its own RNG, so all data functions return
+    identical values for every pool size — parallelism changes only
+    wall-clock time. *)
 
 (** A per-benchmark row: benchmark name and one value per series, [None]
     when the benchmark does not fit the machine (the paper's "X"). *)

@@ -80,7 +80,8 @@ let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
   let topology = machine.Machine.topology in
   let noise_aware = match level with OneQOptCN -> true | N | OneQOpt | OneQOptC -> false in
   let reliability =
-    timed "reliability" (fun () -> Reliability.compute ~noise_aware machine calibration)
+    timed "reliability" (fun () ->
+        Reliability.compute_cached ~noise_aware ~calibration machine ~day)
   in
   let initial_placement, mapper_nodes, mapper_optimal =
     timed "mapping" (fun () ->

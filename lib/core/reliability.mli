@@ -18,6 +18,32 @@ type t
 (** [compute ~noise_aware machine calibration] builds the matrix. *)
 val compute : noise_aware:bool -> Device.Machine.t -> Device.Calibration.t -> t
 
+(** [compute_cached ~noise_aware machine ~day] is {!compute} behind a
+    process-wide cache keyed by (machine, day, noise_aware): repeated
+    compiles against the same calibration (a sweep's common case) reuse
+    the Floyd-Warshall and score matrices instead of redoing the O(n^3)
+    work. Pass [?calibration] when the caller already generated the
+    day's snapshot, to avoid regenerating it on a miss. The cache is
+    mutex-guarded and safe to use from {!Parallel.Pool} workers. *)
+val compute_cached :
+  noise_aware:bool ->
+  ?calibration:Device.Calibration.t ->
+  Device.Machine.t ->
+  day:int ->
+  t
+
+(** [cache_clear ()] empties the cache and zeroes the hit/miss counters —
+    the explicit invalidation hook for callers that mutate calibration
+    sources out from under the keys (none of the built-in machines do). *)
+val cache_clear : unit -> unit
+
+(** [(hits, misses)] since the last {!cache_clear}. *)
+val cache_stats : unit -> int * int
+
+(** Structural equality on every derived field (matrices, paths, readout)
+    — the cache-correctness oracle used by the tests. *)
+val equal : t -> t -> bool
+
 (** [of_calibration ~noise_aware topology calibration] is the underlying
     computation when no [Machine.t] wrapper is at hand (tests, examples). *)
 val of_calibration :

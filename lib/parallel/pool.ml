@@ -1,0 +1,146 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Workers block on the queue and run whatever batch-driver closures maps
+   push; a driver returns once its batch has no work left to claim. *)
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec take () =
+      if t.closed then None
+      else if Queue.is_empty t.queue then begin
+        Condition.wait t.work t.mutex;
+        take ()
+      end
+      else Some (Queue.pop t.queue)
+    in
+    let job = take () in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some run ->
+      run ();
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let finished = ref false in
+    let all_done = Condition.create () in
+    (* The batch driver: claim indices until none are left. The caller
+       runs it too, so the batch completes even with zero free workers
+       (and nested maps cannot starve each other). *)
+    let rec drive () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = match f xs.(i) with v -> Ok v | exception e -> Error e in
+        results.(i) <- Some r;
+        if Atomic.fetch_and_add completed 1 = n - 1 then begin
+          Mutex.lock t.mutex;
+          finished := true;
+          Condition.broadcast all_done;
+          Mutex.unlock t.mutex
+        end;
+        drive ()
+      end
+    in
+    let helpers = min (t.jobs - 1) (n - 1) in
+    if helpers > 0 then begin
+      Mutex.lock t.mutex;
+      if not t.closed then begin
+        for _ = 1 to helpers do
+          Queue.push drive t.queue
+        done;
+        Condition.broadcast t.work
+      end;
+      Mutex.unlock t.mutex
+    end;
+    drive ();
+    Mutex.lock t.mutex;
+    while not !finished do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (* Raise the lowest-indexed failure regardless of which domain hit it
+       first — deterministic error reporting across pool sizes. *)
+    for i = 0 to n - 1 do
+      match results.(i) with Some (Error e) -> raise e | _ -> ()
+    done;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map t f xs)
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---- process-wide default pool ---- *)
+
+let default_mutex = Mutex.create ()
+let default_size = ref (max 1 (Domain.recommended_domain_count ()))
+let default_pool : t option ref = ref None
+
+let default () =
+  Mutex.protect default_mutex (fun () ->
+      match !default_pool with
+      | Some p -> p
+      | None ->
+        let p = create ~jobs:!default_size in
+        default_pool := Some p;
+        p)
+
+let default_jobs () = Mutex.protect default_mutex (fun () -> !default_size)
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  let stale =
+    Mutex.protect default_mutex (fun () ->
+        default_size := n;
+        match !default_pool with
+        | Some p when p.jobs <> n ->
+          default_pool := None;
+          Some p
+        | _ -> None)
+  in
+  Option.iter shutdown stale

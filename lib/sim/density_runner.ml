@@ -16,8 +16,11 @@ let run ?(explicit_t1 = false) (compiled : Compiled.t) spec =
   let k = List.length used in
   if k = 0 then invalid_arg "Density_runner.run: empty circuit";
   if k > 8 then invalid_arg "Density_runner.run: too many qubits for exact simulation";
-  let compact_of_hw = List.mapi (fun i q -> (q, i)) used in
-  let qubit_of h = List.assoc h compact_of_hw in
+  let qubit_of =
+    let table = Array.make (1 + List.fold_left max 0 used) (-1) in
+    List.iteri (fun i q -> table.(q) <- i) used;
+    fun h -> table.(h)
+  in
   let rho = Density.init k in
   List.iter
     (fun g ->
@@ -81,3 +84,7 @@ let run ?(explicit_t1 = false) (compiled : Compiled.t) spec =
     success_rate = Ir.Spec.success_rate spec counts;
     purity = Density.purity rho;
   }
+
+let run_batch ?explicit_t1 ?pool pairs =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  Parallel.Pool.map pool (fun (compiled, spec) -> run ?explicit_t1 compiled spec) pairs

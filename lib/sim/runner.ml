@@ -11,8 +11,16 @@ type outcome = {
   trajectories : int;
 }
 
+(* Trajectories are grouped into fixed-size blocks: a block is the unit of
+   work handed to the domain pool, and block partial sums are folded in
+   block order on the calling domain. Because the blocking (and the
+   per-trajectory RNG streams) never depend on the pool size, the result
+   is bit-for-bit identical for every [-j]. *)
+let traj_block = 25
+
 let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
-    ?(sample_counts = false) ?(explicit_t1 = false) compiled spec =
+    ?(sample_counts = false) ?(explicit_t1 = false) ?pool compiled spec =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let hardware = compiled.Compiled.hardware in
   let machine = compiled.Compiled.machine in
   (* [day] overrides the calibration the executable runs under — by default
@@ -26,77 +34,92 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
   let k = List.length used in
   if k = 0 then invalid_arg "Runner.run: empty circuit";
   if k > 20 then invalid_arg "Runner.run: circuit touches too many qubits to simulate";
-  let compact_of_hw = List.mapi (fun i q -> (q, i)) used in
-  let qubit_of h = List.assoc h compact_of_hw in
+  (* Hardware qubit -> compact simulated index, O(1) on the hot path. *)
+  let qubit_of =
+    let table = Array.make (1 + List.fold_left max 0 used) (-1) in
+    List.iteri (fun i q -> table.(q) <- i) used;
+    fun h -> table.(h)
+  in
   (* Per-gate precomputation: matrices, compact operands, error probs. *)
   let body =
     List.filter (fun g -> not (Ir.Gate.is_measure g)) hardware.Ir.Circuit.gates
   in
   let prepared =
-    List.map
-      (fun g ->
-        (* With explicit T1 the decoherence contribution is modelled as a
-           relaxation channel rather than folded into the Pauli error. *)
-        let p =
-          if explicit_t1 then Noise.gate_error_prob_raw noise g
-          else Noise.gate_error_prob noise g
-        in
-        let gamma = if explicit_t1 then Noise.relaxation_gamma noise g else 0.0 in
-        match (g : Ir.Gate.t) with
-        | One (kind, q) -> `One (Ir.Matrices.one_q kind, qubit_of q, p, gamma)
-        | Two (kind, a, b) ->
-          `Two (Ir.Matrices.two_q kind, qubit_of a, qubit_of b, p, gamma)
-        | Measure _ | Ccx _ | Cswap _ -> assert false)
-      body
+    Array.of_list
+      (List.map
+         (fun g ->
+           (* With explicit T1 the decoherence contribution is modelled as a
+              relaxation channel rather than folded into the Pauli error. *)
+           let p =
+             if explicit_t1 then Noise.gate_error_prob_raw noise g
+             else Noise.gate_error_prob noise g
+           in
+           let gamma = if explicit_t1 then Noise.relaxation_gamma noise g else 0.0 in
+           match (g : Ir.Gate.t) with
+           | One (kind, q) -> `One (Ir.Matrices.one_q kind, qubit_of q, p, gamma)
+           | Two (kind, a, b) ->
+             `Two (Ir.Matrices.two_q kind, qubit_of a, qubit_of b, p, gamma)
+           | Measure _ | Ccx _ | Cswap _ -> assert false)
+         body)
   in
+  let n_gates = Array.length prepared in
   let pauli = [| Ir.Matrices.one_q X; Ir.Matrices.one_q Y; Ir.Matrices.one_q Z |] in
-  let rng = Rng.create seed in
+  (* Every trajectory draws from its own stream, split off the master in
+     trajectory order; the remaining master stream serves shot sampling.
+     Splitting decouples a trajectory's randomness from whichever domain
+     happens to execute it. *)
+  let master = Rng.create seed in
+  let traj_rng = Array.make (max trajectories 1) master in
+  for t = 0 to trajectories - 1 do
+    traj_rng.(t) <- Rng.split master
+  done;
+  let counts_rng = Rng.split master in
   (* Sample the error pattern first: clean trajectories (the common case on
      good mappings) reuse the cached ideal output without re-simulating. *)
-  let sample_error_flags () =
+  let sample_error_flags rng =
     let any = ref false in
-    let flags =
-      List.map
-        (fun instr ->
-          let p = match instr with `One (_, _, p, _) | `Two (_, _, _, p, _) -> p in
-          let e = p > 0.0 && Rng.bool rng p in
-          if e then any := true;
-          e)
-        prepared
-    in
+    let flags = Array.make n_gates false in
+    for i = 0 to n_gates - 1 do
+      let p =
+        match prepared.(i) with `One (_, _, p, _) | `Two (_, _, _, p, _) -> p
+      in
+      let e = p > 0.0 && Rng.bool rng p in
+      if e then any := true;
+      flags.(i) <- e
+    done;
     (flags, !any)
   in
-  let run_trajectory flags =
+  let run_trajectory rng flags =
     let state = Statevector.init k in
-    List.iter2
-      (fun instr erred ->
-        match instr with
-        | `One (m, q, _, gamma) ->
-          Statevector.apply_one state m q;
-          if erred then Statevector.apply_one state pauli.(Rng.int rng 3) q;
-          if gamma > 0.0 then ignore (Statevector.relax state q ~gamma rng)
-        | `Two (m, a, b, _, gamma) ->
-          Statevector.apply_two state m a b;
-          if erred then begin
-            let rec draw () =
-              let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
-              if pa = 0 && pb = 0 then draw () else (pa, pb)
-            in
-            let pa, pb = draw () in
-            if pa > 0 then Statevector.apply_one state pauli.(pa - 1) a;
-            if pb > 0 then Statevector.apply_one state pauli.(pb - 1) b
-          end;
-          if gamma > 0.0 then begin
-            ignore (Statevector.relax state a ~gamma rng);
-            ignore (Statevector.relax state b ~gamma rng)
-          end)
-      prepared flags;
+    for i = 0 to n_gates - 1 do
+      let erred = flags.(i) in
+      match prepared.(i) with
+      | `One (m, q, _, gamma) ->
+        Statevector.apply_one state m q;
+        if erred then Statevector.apply_one state pauli.(Rng.int rng 3) q;
+        if gamma > 0.0 then ignore (Statevector.relax state q ~gamma rng)
+      | `Two (m, a, b, _, gamma) ->
+        Statevector.apply_two state m a b;
+        if erred then begin
+          let rec draw () =
+            let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
+            if pa = 0 && pb = 0 then draw () else (pa, pb)
+          in
+          let pa, pb = draw () in
+          if pa > 0 then Statevector.apply_one state pauli.(pa - 1) a;
+          if pb > 0 then Statevector.apply_one state pauli.(pb - 1) b
+        end;
+        if gamma > 0.0 then begin
+          ignore (Statevector.relax state a ~gamma rng);
+          ignore (Statevector.relax state b ~gamma rng)
+        end
+    done;
     state
   in
   (* Clean trajectories all coincide: compute the ideal output once and
      reuse it whenever the sampled error pattern is empty. *)
   let ideal_state = Statevector.init k in
-  List.iter
+  Array.iter
     (fun instr ->
       match instr with
       | `One (m, q, _, _) -> Statevector.apply_one ideal_state m q
@@ -104,19 +127,33 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
     prepared;
   let ideal_probs = Statevector.probabilities ideal_state in
   let dim = 1 lsl k in
+  let run_block b =
+    let partial = Array.make dim 0.0 in
+    let last = min trajectories ((b + 1) * traj_block) - 1 in
+    for t = b * traj_block to last do
+      let rng = traj_rng.(t) in
+      let probs =
+        let flags, any = sample_error_flags rng in
+        (* Explicit relaxation is stochastic in every trajectory, so the
+           clean-trajectory shortcut only applies without it. *)
+        if (not any) && not explicit_t1 then ideal_probs
+        else Statevector.probabilities (run_trajectory rng flags)
+      in
+      for i = 0 to dim - 1 do
+        partial.(i) <- partial.(i) +. probs.(i)
+      done
+    done;
+    partial
+  in
+  let n_blocks = (trajectories + traj_block - 1) / traj_block in
+  let partials = Parallel.Pool.map pool run_block (List.init n_blocks Fun.id) in
   let avg = Array.make dim 0.0 in
-  for _ = 1 to trajectories do
-    let probs =
-      let flags, any = sample_error_flags () in
-      (* Explicit relaxation is stochastic in every trajectory, so the
-         clean-trajectory shortcut only applies without it. *)
-      if (not any) && not explicit_t1 then ideal_probs
-      else Statevector.probabilities (run_trajectory flags)
-    in
-    for i = 0 to dim - 1 do
-      avg.(i) <- avg.(i) +. probs.(i)
-    done
-  done;
+  List.iter
+    (fun partial ->
+      for i = 0 to dim - 1 do
+        avg.(i) <- avg.(i) +. partial.(i)
+      done)
+    partials;
   for i = 0 to dim - 1 do
     avg.(i) <- avg.(i) /. float_of_int trajectories
   done;
@@ -159,7 +196,7 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
       in
       let total = cumulative.(Array.length cumulative - 1) in
       for _ = 1 to trials do
-        let r = Rng.float rng *. total in
+        let r = Rng.float counts_rng *. total in
         let rec find i =
           if i >= Array.length cumulative - 1 || cumulative.(i) >= r then i
           else find (i + 1)

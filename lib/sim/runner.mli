@@ -11,7 +11,14 @@
     superconducting machines and 5000 for UMDTI in the paper).
 
     Only the qubits the circuit actually touches are simulated, so a
-    5-qubit benchmark mapped onto a 16-qubit device stays cheap. *)
+    5-qubit benchmark mapped onto a 16-qubit device stays cheap.
+
+    Trajectories run in parallel across a {!Parallel.Pool}: each
+    trajectory draws from its own RNG stream (split off the master seed
+    in trajectory order), trajectories are summed in fixed-size blocks,
+    and block partials are folded in block order — so the outcome is
+    bit-for-bit identical for every pool size, including sequential
+    execution ([jobs = 1]). *)
 
 type outcome = {
   distribution : (string * float) list;
@@ -36,7 +43,10 @@ type outcome = {
     default deterministic largest-remainder rendering. [explicit_t1]
     models decoherence as an amplitude-damping channel (quantum-jump
     trajectories) instead of folding it into the depolarizing
-    probability — cross-validated against the exact backend. Defaults:
+    probability — cross-validated against the exact backend. [pool]
+    selects the domain pool trajectories fan out across (default: the
+    process-wide {!Parallel.Pool.default} — pass a [jobs:1] pool to force
+    sequential execution; the result is identical either way). Defaults:
     [seed 0xC0FFEE], [trials 8192], [trajectories 300]. *)
 val run :
   ?seed:int ->
@@ -45,6 +55,7 @@ val run :
   ?day:int ->
   ?sample_counts:bool ->
   ?explicit_t1:bool ->
+  ?pool:Parallel.Pool.t ->
   Triq.Compiled.t ->
   Ir.Spec.t ->
   outcome

@@ -109,17 +109,27 @@ let run (c : Ir.Circuit.t) =
     c.Ir.Circuit.gates;
   t
 
-let sample t rng =
-  let target = Mathkit.Rng.float rng *. norm2 t in
+let sampler t =
+  (* One O(2^n) pass builds the cumulative table (subsuming the norm2
+     scan); every draw is then an O(n) binary search. *)
   let dim = 1 lsl t.n in
-  let rec scan i acc =
-    if i >= dim - 1 then i
-    else begin
-      let acc = acc +. probability t i in
-      if acc >= target then i else scan (i + 1) acc
-    end
-  in
-  scan 0 0.0
+  let cumulative = Array.make dim 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to dim - 1 do
+    acc := !acc +. probability t i;
+    cumulative.(i) <- !acc
+  done;
+  let total = !acc in
+  fun rng ->
+    let target = Mathkit.Rng.float rng *. total in
+    let lo = ref 0 and hi = ref (dim - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let sample t rng = sampler t rng
 
 let scale t c =
   for i = 0 to (1 lsl t.n) - 1 do

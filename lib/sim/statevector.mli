@@ -45,8 +45,15 @@ val apply_gate : t -> Ir.Gate.t -> unit
 val run : Ir.Circuit.t -> t
 
 (** [sample t rng] draws a basis-state index from the state's
-    distribution. *)
+    distribution. One-shot convenience over {!sampler} — when drawing
+    many samples from the same state, build the sampler once instead. *)
 val sample : t -> Mathkit.Rng.t -> int
+
+(** [sampler t] precomputes the cumulative probability table once
+    (a single O(2^n) pass) and returns a draw function costing O(n) per
+    sample — the right tool for repeated sampling from one state. The
+    closure snapshots the state: later mutations of [t] are not seen. *)
+val sampler : t -> Mathkit.Rng.t -> int
 
 (** [scale t c] multiplies every amplitude by the real scalar [c]
     (used by the density-matrix backend's Kraus sums). *)

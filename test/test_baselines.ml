@@ -93,9 +93,17 @@ let test_quil_home_positions () =
     compiled.Triq.Compiled.initial_placement compiled.Triq.Compiled.final_placement
 
 let test_quil_correct_output () =
+  (* Aspen1's noise leaves the mode only ~0.01 ahead of the runner-up, so
+     a small Monte-Carlo run resolves it by luck; assert on the exact
+     density-matrix backend instead. *)
   let compiled = Baselines.Quil_like.compile Machines.aspen1 bv4.Bench_kit.Programs.circuit in
-  let outcome = Sim.Runner.run ~trajectories:150 compiled bv4.Bench_kit.Programs.spec in
-  Alcotest.(check bool) "correct answer dominates" true outcome.Sim.Runner.dominant_correct
+  let outcome = Sim.Density_runner.run compiled bv4.Bench_kit.Programs.spec in
+  let dominant =
+    match outcome.Sim.Density_runner.distribution with
+    | (bits, _) :: _ -> bits
+    | [] -> Alcotest.fail "empty distribution"
+  in
+  Alcotest.(check string) "correct answer dominates" "111" dominant
 
 let test_quil_more_swaps_than_triq () =
   let p = bv4 in

@@ -83,13 +83,19 @@ let test_sv_norm_preserved () =
 let test_sv_sample_distribution () =
   let s = Sv.run (circuit 1 [ G.One (G.H, 0) ]) in
   let rng = Rng.create 7 in
+  let draw = Sv.sampler s in
   let ones = ref 0 in
   let n = 20_000 in
   for _ = 1 to n do
-    if Sv.sample s rng = 1 then incr ones
+    if draw rng = 1 then incr ones
   done;
   let frac = float_of_int !ones /. float_of_int n in
-  if Float.abs (frac -. 0.5) > 0.02 then Alcotest.failf "biased sampling: %f" frac
+  if Float.abs (frac -. 0.5) > 0.02 then Alcotest.failf "biased sampling: %f" frac;
+  (* The one-shot convenience must agree with a fresh sampler stream. *)
+  let r1 = Rng.create 11 and r2 = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "sample = sampler" (Sv.sample s r1) (Sv.sampler s r2)
+  done
 
 let test_sv_rejects_measure () =
   let s = Sv.init 1 in
