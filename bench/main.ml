@@ -8,8 +8,9 @@
      main.exe [-j N] <id>    one experiment: fig1 fig2 fig3 tab1 fig5 fig6
                              fig7 fig8 fig9 fig10 fig11 fig12 scaling related
      main.exe [-j N] timings only the timing suite; also writes
-                             BENCH_timings.json (per-stage ns/run,
-                             sequential vs parallel, cache effect)
+                             BENCH_timings.json (per-stage ns/run, per-pass
+                             compile breakdown, sequential vs parallel,
+                             cache effect)
      main.exe smoke          fast determinism + cache smoke test (runtest)
 
    -j N sizes the domain pool (default: Domain.recommended_domain_count);
@@ -145,8 +146,9 @@ let seq_vs_par () =
   let p = Bench_kit.Programs.bv 6 in
   let compiled =
     Triq.Pipeline.to_compiled
-      (Triq.Pipeline.compile Device.Machines.ibmq14 p.Bench_kit.Programs.circuit
-         ~level:Triq.Pipeline.OneQOptCN)
+      (Triq.Pipeline.compile_schedule Device.Machines.ibmq14
+         p.Bench_kit.Programs.circuit
+         (Triq.Pass.Schedule.of_level Triq.Pipeline.OneQOptCN))
   in
   let spec = p.Bench_kit.Programs.spec in
   let run pool = Sim.Runner.run ~trajectories:300 ~pool compiled spec in
@@ -188,6 +190,32 @@ let cache_effect () =
     hits,
     misses )
 
+(* Per-pass compile-time attribution from the pass runner (Section 6.5):
+   average each schedule pass's wall clock over [reps] compiles of
+   bv6@IBMQ14 at TriQ-1QOptCN, so future perf work can attribute wins to
+   individual passes. The reliability cache is cleared first so the
+   reliability pass shows its uncached cost on the first rep. *)
+let per_pass_breakdown ?(reps = 20) () =
+  let p = Bench_kit.Programs.bv 6 in
+  let machine = Device.Machines.ibmq14 in
+  let schedule = Triq.Pass.Schedule.of_level Triq.Pipeline.OneQOptCN in
+  Triq.Reliability.cache_clear ();
+  let totals = Hashtbl.create 16 in
+  let order = ref [] in
+  for _ = 1 to reps do
+    let r =
+      Triq.Pipeline.compile_schedule machine p.Bench_kit.Programs.circuit schedule
+    in
+    List.iter
+      (fun (name, s) ->
+        if not (Hashtbl.mem totals name) then order := name :: !order;
+        Hashtbl.replace totals name (s +. (try Hashtbl.find totals name with Not_found -> 0.0)))
+      r.Triq.Pipeline.pass_times_s
+  done;
+  List.rev_map
+    (fun name -> (name, Hashtbl.find totals name /. float_of_int reps))
+    !order
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -199,7 +227,8 @@ let json_escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_timings_json path stages (seq_s, par_s, jobs) (unc, cac, hits, misses) =
+let write_timings_json path stages per_pass (seq_s, par_s, jobs)
+    (unc, cac, hits, misses) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -212,6 +241,15 @@ let write_timings_json path stages (seq_s, par_s, jobs) (unc, cac, hits, misses)
         (if i = List.length stages - 1 then "" else ","))
     stages;
   out "  ],\n";
+  out
+    "  \"per_pass\": {\"workload\": \"bv6@IBMQ14 TriQ-1QOptCN\", \"passes\": [\n";
+  List.iteri
+    (fun i (name, s) ->
+      out "    {\"name\": \"%s\", \"ns_per_compile\": %.0f}%s\n" (json_escape name)
+        (s *. 1e9)
+        (if i = List.length per_pass - 1 then "" else ","))
+    per_pass;
+  out "  ]},\n";
   out
     "  \"trajectory_experiment\": {\"name\": \"fig9-style bv6@ibmq14 300 \
      trajectories\", \"sequential_ns\": %.0f, \"parallel_ns\": %.0f, \
@@ -230,6 +268,11 @@ let run_timings () =
   print_newline ();
   print_endline "== Bechamel timing suite (per-experiment harness cost) ==";
   let stages = collect_timings () in
+  let per_pass = per_pass_breakdown () in
+  print_endline "per-pass compile time (bv6@IBMQ14, TriQ-1QOptCN):";
+  List.iter
+    (fun (name, s) -> Printf.printf "  %-15s %10.0f ns/compile\n" name (s *. 1e9))
+    per_pass;
   let sp = seq_vs_par () in
   let ce = cache_effect () in
   let seq_s, par_s, jobs = sp in
@@ -240,7 +283,7 @@ let run_timings () =
   Printf.printf
     "reliability matrix: uncached %.0f ns/call, cached %.0f ns/call; fig10 sweep: %d hits, %d misses\n"
     (unc *. 1e9) (cac *. 1e9) hits misses;
-  write_timings_json "BENCH_timings.json" stages sp ce;
+  write_timings_json "BENCH_timings.json" stages per_pass sp ce;
   print_endline "wrote BENCH_timings.json"
 
 (* A CI-fast correctness gate (wired under `dune runtest`): the parallel

@@ -4,6 +4,7 @@
      compile   Scaffold source -> vendor executable (OpenQASM/Quil/TI asm)
      simulate  compile, then run on the noisy device model
      lint      static checks: Scaffold source lints + compile-time validation
+     passes    list the registered compiler passes and level schedules
      machines  list the supported machines
      info      describe one machine (topology + calibration snapshot)
      bench     list the built-in benchmark programs *)
@@ -36,7 +37,41 @@ let find_machine spec =
 let find_level name =
   match Triq.Pipeline.level_of_string name with
   | Some l -> Ok l
-  | None -> Error (Printf.sprintf "unknown optimization level %S (n, 1qopt, 1qoptc, 1qoptcn)" name)
+  | None ->
+    Error
+      (Printf.sprintf "unknown optimization level %S (valid, case-insensitive: %s)"
+         name
+         (String.concat ", " Triq.Pipeline.level_strings))
+
+let find_router name =
+  match Triq.Pass.Config.router_of_string name with
+  | Some r -> Ok r
+  | None ->
+    Error
+      (Printf.sprintf "unknown router %S (valid: %s)" name
+         (String.concat ", " Triq.Pass.Config.router_names))
+
+(* The level's named schedule, possibly edited by --passes/--disable-pass. *)
+let build_schedule ~config ~level passes disabled =
+  let ( let* ) = Result.bind in
+  let* schedule =
+    match passes with
+    | None -> Ok (Triq.Pass.Schedule.of_level ~config level)
+    | Some names ->
+      Triq.Pass.Schedule.make ~config ~level
+        (String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> ""))
+  in
+  List.fold_left
+    (fun acc name ->
+      let* schedule = acc in
+      Triq.Pass.Schedule.disable schedule name)
+    (Ok schedule) disabled
+
+let compile_at ?(config = Triq.Pass.Config.default) machine level circuit =
+  Triq.Pipeline.compile_schedule ~config machine circuit
+    (Triq.Pass.Schedule.of_level ~config level)
 
 (* Programs come in as Scaffold source or (for re-optimizing existing
    vendor output) as OpenQASM 2.0. *)
@@ -125,15 +160,52 @@ let compile_common file machine_name level_name =
   Ok (machine, level, program)
 
 let compile_cmd =
-  let run file machine_name level_name day =
-    match compile_common file machine_name level_name with
+  let router_arg =
+    let doc = "SWAP-insertion router: default or lookahead (ablation extension)." in
+    Arg.(value & opt string "default" & info [ "router" ] ~docv:"ROUTER" ~doc)
+  in
+  let peephole_arg =
+    Arg.(
+      value & flag
+      & info [ "peephole" ]
+          ~doc:
+            "Add the 2Q peephole cancellation pass to the schedule (an extension, \
+             not part of the paper's flow).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Arm the pass-invariant validator during compilation.")
+  in
+  let passes_arg =
+    let doc =
+      "Run exactly this comma-separated pass list instead of the level's named \
+       schedule (canonical names from 'triqc passes')."
+    in
+    Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"NAMES" ~doc)
+  in
+  let disable_arg =
+    let doc = "Remove an optional pass from the schedule (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "disable-pass" ] ~docv:"NAME" ~doc)
+  in
+  let run file machine_name level_name day router_name peephole validate passes
+      disabled =
+    let ( let* ) = Result.bind in
+    let result =
+      let* machine, level, program = compile_common file machine_name level_name in
+      let* router = find_router router_name in
+      let config = Triq.Pass.Config.make ~day ~router ~peephole ~validate () in
+      let* schedule = build_schedule ~config ~level passes disabled in
+      Ok
+        (Triq.Pipeline.compile_schedule ~config machine
+           program.Scaffold.Lower.circuit schedule)
+    in
+    match result with
     | Error msg ->
       Printf.eprintf "triqc: %s\n" msg;
       1
-    | Ok (machine, level, program) ->
-      let compiled =
-        Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
-      in
+    | Ok compiled ->
       print_stats compiled;
       print_string (Backend.Emit.executable (Triq.Pipeline.to_compiled compiled));
       0
@@ -141,7 +213,27 @@ let compile_cmd =
   let doc = "Compile a Scaffold program to a vendor executable." in
   Cmd.v
     (Cmd.info "compile" ~doc)
-    Term.(const run $ file_arg $ machine_arg $ level_arg $ day_arg)
+    Term.(
+      const run $ file_arg $ machine_arg $ level_arg $ day_arg $ router_arg
+      $ peephole_arg $ validate_arg $ passes_arg $ disable_arg)
+
+let passes_cmd =
+  let run () =
+    print_endline "Registered passes (canonical names; timing keys and validator tags):";
+    List.iter
+      (fun (name, about) -> Printf.printf "  %-15s %s\n" name about)
+      Triq.Pass.catalog;
+    print_newline ();
+    print_endline "Level schedules (Table 1; edit with --passes / --disable-pass):";
+    List.iter
+      (fun (s : Triq.Pass.Schedule.t) ->
+        Printf.printf "  %-13s %s\n" s.Triq.Pass.Schedule.name
+          (String.concat " > " (Triq.Pass.Schedule.pass_names s)))
+      (Triq.Pass.Schedule.all ());
+    0
+  in
+  let doc = "List the registered compiler passes and the named level schedules." in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
 
 let simulate_cmd =
   let trials_arg =
@@ -164,7 +256,8 @@ let simulate_cmd =
       end
       else begin
         let compiled =
-          Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+          compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+            program.Scaffold.Lower.circuit
         in
         print_stats compiled;
         let measured = program.Scaffold.Lower.measured in
@@ -231,7 +324,8 @@ let sweep_cmd =
         List.iter
           (fun level ->
             let compiled =
-              Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+              compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+                program.Scaffold.Lower.circuit
             in
             let success =
               match spec with
@@ -266,7 +360,8 @@ let draw_cmd =
     | Ok (machine, level, program) ->
       if compiled_view then begin
         let compiled =
-          Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+          compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+            program.Scaffold.Lower.circuit
         in
         print_string (Ir.Draw.render compiled.Triq.Pipeline.hardware)
       end
@@ -314,8 +409,8 @@ let verify_cmd =
           (fun level ->
             let compiled =
               Triq.Pipeline.to_compiled
-                (Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit
-                   ~level)
+                (compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+                   program.Scaffold.Lower.circuit)
             in
             let result =
               Sim.Verify.check ~program:program.Scaffold.Lower.circuit
@@ -406,7 +501,8 @@ let pulse_cmd =
       1
     | Ok (machine, level, program) ->
       let compiled =
-        Triq.Pipeline.compile ~day machine program.Scaffold.Lower.circuit ~level
+        compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+          program.Scaffold.Lower.circuit
       in
       print_stats compiled;
       let schedule = Pulse.Lower.of_compiled (Triq.Pipeline.to_compiled compiled) in
@@ -533,8 +629,8 @@ let lint_cmd =
             (List.concat_map
                (fun level ->
                  match
-                   Triq.Pipeline.compile ~day ~validate:true machine
-                     program.Scaffold.Lower.circuit ~level
+                   compile_at ~config:(Triq.Pass.Config.make ~day ~validate:true ())
+                     machine level program.Scaffold.Lower.circuit
                  with
                  | compiled ->
                    Triq.Validate.check_pipeline
@@ -604,8 +700,8 @@ let bench_cmd =
           (fun (p : Bench_kit.Programs.t) ->
             if Device.Machine.fits machine p.Bench_kit.Programs.circuit then begin
               let compiled =
-                Triq.Pipeline.compile ~day machine p.Bench_kit.Programs.circuit
-                  ~level:Triq.Pipeline.OneQOptCN
+                compile_at ~config:(Triq.Pass.Config.make ~day ()) machine
+                  Triq.Pipeline.OneQOptCN p.Bench_kit.Programs.circuit
               in
               let outcome =
                 Sim.Runner.run
@@ -629,7 +725,7 @@ let () =
   let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]
+      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]
   in
   (* Every subcommand compiles, so handle validator violations uniformly
      here rather than per command. *)

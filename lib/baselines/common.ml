@@ -1,20 +1,31 @@
 module Machine = Device.Machine
 module Topology = Device.Topology
+module Pass = Triq.Pass
 
-let finalize machine ~compiler ~day ~program ~initial_placement ~routed
-    ~final_placement ~swap_count ~started_at =
-  let topology = machine.Machine.topology in
-  let expanded = Triq.Translate.expand_swaps routed in
-  let flipped_cnots = Triq.Direction.flipped_count topology expanded in
-  let oriented = Triq.Direction.fix topology expanded in
-  let visible = Triq.Translate.two_q_to_visible machine.Machine.basis oriented in
-  let hardware = Triq.Oneq_opt.optimize machine.Machine.basis visible in
-  let readout_map =
-    List.map (fun p -> (p, final_placement.(p))) (Ir.Circuit.measured_qubits program)
+let start machine ~day circuit =
+  let config = Pass.Config.make ~day () in
+  let state = Pass.init ~config machine circuit in
+  Pass.run_passes state [ Pass.flatten ]
+
+(* The stages shared with the TriQ levels once a baseline has placed and
+   routed: generic SWAP expansion (baselines know nothing about native
+   bases), orientation repair, translation, 1Q coalescing, readout map. *)
+let tail_passes =
+  Pass.[ swap_expansion_generic; orientation; translation; oneq_coalesce; readout ]
+
+let finalize ~compiler ~routed ~initial_placement ~final_placement ~swap_count
+    ~started_at ~front_times (state : Pass.state) =
+  let state =
+    { state with Pass.circuit = routed; initial_placement; final_placement; swap_count }
   in
-  Triq.Compiled.make ~machine ~compiler ~day ~hardware ~initial_placement
-    ~final_placement ~readout_map ~swap_count ~flipped_cnots
-    ~compile_time_s:(Sys.time () -. started_at)
+  let state, tail_times = Pass.run_passes state tail_passes in
+  Triq.Compiled.make
+    ~pass_times_s:(front_times @ tail_times)
+    ~machine:state.Pass.machine ~compiler
+    ~day:state.Pass.config.Pass.Config.day ~hardware:state.Pass.circuit
+    ~initial_placement ~final_placement ~readout_map:state.Pass.readout_map
+    ~swap_count ~flipped_cnots:state.Pass.flipped_cnots
+    ~compile_time_s:(Sys.time () -. started_at) ()
 
 let hop_distances topology =
   let n = Topology.n_qubits topology in

@@ -1,24 +1,32 @@
-(** Shared back-end for the baseline compilers: once a baseline has placed
-    and routed a program, the remaining stages (SWAP expansion, CNOT
-    orientation repair, translation to the software-visible gate set, 1Q
-    coalescing) are identical, and handled here through the TriQ passes. *)
+(** Shared back-end for the baseline compilers, built on the TriQ pass
+    driver ({!Triq.Pass}): the flatten front and — once a baseline has
+    placed and routed a program — the remaining stages (generic SWAP
+    expansion, CNOT orientation repair, translation to the
+    software-visible gate set, 1Q coalescing, readout map) are identical
+    across baselines and run as the same passes the TriQ levels use. *)
 
-(** [finalize machine ~compiler ~day ~program ~initial_placement ~routed
-    ~final_placement ~swap_count ~started_at] completes compilation of a
-    routed hardware circuit and packages it as an executable. [program] is
-    the flattened program-level circuit (used for the readout map);
-    [started_at] is the [Sys.time] value when the baseline started, for
-    compile-time reporting. *)
+(** [start machine ~day circuit] initializes a pass state for the
+    baseline and runs the shared [flatten] pass through the driver:
+    returns the state (whose [circuit] is the flattened program) and the
+    front pass times. *)
+val start :
+  Device.Machine.t -> day:int -> Ir.Circuit.t -> Triq.Pass.state * (string * float) list
+
+(** [finalize ~compiler ~routed ... state] completes compilation of a
+    routed hardware circuit through the shared tail passes and packages
+    it as an executable. [state] is the value from {!start};
+    [front_times] its pass times (prepended to the tail's in
+    [pass_times_s]); [started_at] the [Sys.time] value when the baseline
+    started, for compile-time reporting. *)
 val finalize :
-  Device.Machine.t ->
   compiler:string ->
-  day:int ->
-  program:Ir.Circuit.t ->
-  initial_placement:int array ->
   routed:Ir.Circuit.t ->
+  initial_placement:int array ->
   final_placement:int array ->
   swap_count:int ->
   started_at:float ->
+  front_times:(string * float) list ->
+  Triq.Pass.state ->
   Triq.Compiled.t
 
 (** [hop_distances topology] is the all-pairs hop-count matrix. *)

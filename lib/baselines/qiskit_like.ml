@@ -60,12 +60,13 @@ let compile ?(day = 0) ?(seed = 1) machine circuit =
   if not (Machine.fits machine circuit) then
     invalid_arg "Qiskit_like.compile: program does not fit";
   let started_at = Sys.time () in
-  let flat = Ir.Decompose.flatten circuit in
+  let state, front_times = Common.start machine ~day circuit in
+  let flat = state.Triq.Pass.circuit in
   let placement =
     Triq.Mapper.trivial ~n_program:flat.Ir.Circuit.n_qubits
       ~n_hardware:(Machine.n_qubits machine)
   in
   let rng = Rng.create seed in
   let routed, final_placement, swap_count = route machine rng ~placement flat in
-  Common.finalize machine ~compiler:"Qiskit" ~day ~program:flat
-    ~initial_placement:placement ~routed ~final_placement ~swap_count ~started_at
+  Common.finalize ~compiler:"Qiskit" ~routed ~initial_placement:placement
+    ~final_placement ~swap_count ~started_at ~front_times state

@@ -45,12 +45,13 @@ let compile ?(day = 0) machine circuit =
   if not (Machine.fits machine circuit) then
     invalid_arg "Quil_like.compile: program does not fit";
   let started_at = Sys.time () in
-  let flat = Ir.Decompose.flatten circuit in
+  let state, front_times = Common.start machine ~day circuit in
+  let flat = state.Triq.Pass.circuit in
   let placement =
     Triq.Mapper.trivial ~n_program:flat.Ir.Circuit.n_qubits
       ~n_hardware:(Machine.n_qubits machine)
   in
   let routed, swap_count = route machine ~placement flat in
-  Common.finalize machine ~compiler:"Quil" ~day ~program:flat
-    ~initial_placement:placement ~routed ~final_placement:(Array.copy placement)
-    ~swap_count ~started_at
+  Common.finalize ~compiler:"Quil" ~routed ~initial_placement:placement
+    ~final_placement:(Array.copy placement) ~swap_count ~started_at ~front_times
+    state

@@ -60,17 +60,17 @@ let compile ?(day = 0) machine circuit =
   if not (Machine.fits machine circuit) then
     invalid_arg "Zulehner_like.compile: program does not fit";
   let started_at = Sys.time () in
-  let flat = Ir.Decompose.flatten circuit in
+  let state, front_times = Common.start machine ~day circuit in
+  let flat = state.Triq.Pass.circuit in
   let placement = greedy_placement machine flat in
-  let calibration = Machine.calibration machine ~day in
   (* Hop-count routing = noise-unaware reliability matrix. *)
   let reliability =
-    Triq.Reliability.compute_cached ~noise_aware:false ~calibration machine ~day
+    Triq.Reliability.compute_cached ~noise_aware:false
+      ~calibration:state.Triq.Pass.calibration machine ~day
   in
   let routed =
     Triq.Router.route reliability machine.Machine.topology ~placement flat
   in
-  Common.finalize machine ~compiler:"Zulehner" ~day ~program:flat
-    ~initial_placement:placement ~routed:routed.Triq.Router.circuit
-    ~final_placement:routed.Triq.Router.final_placement
-    ~swap_count:routed.Triq.Router.swap_count ~started_at
+  Common.finalize ~compiler:"Zulehner" ~routed:routed.Triq.Router.circuit
+    ~initial_placement:placement ~final_placement:routed.Triq.Router.final_placement
+    ~swap_count:routed.Triq.Router.swap_count ~started_at ~front_times state

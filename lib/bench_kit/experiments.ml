@@ -4,6 +4,8 @@ module Calibration = Device.Calibration
 module Gateset = Device.Gateset
 module Topology = Device.Topology
 module Pipeline = Triq.Pipeline
+module Config = Triq.Pass.Config
+module Schedule = Triq.Pass.Schedule
 module Stats = Mathkit.Stats
 
 type 'a row = { bench : string; values : (string * 'a option) list }
@@ -20,20 +22,29 @@ let pmap_range n f = pmap f (List.init n Fun.id)
 
 let benches () = Programs.all
 
+(* Every grid below compiles through the pass driver: a [Config.t] plus
+   the level's named schedule, so ablations (peephole, lookahead) are
+   config/schedule edits rather than option tuples. *)
+let compile_level ?(config = Config.default) ?day machine level circuit =
+  let config =
+    match day with None -> config | Some day -> { config with Config.day }
+  in
+  Pipeline.compile_schedule ~config machine circuit (Schedule.of_level ~config level)
+
 (* Compile [p] on [machine] at [level]; None when it does not fit. *)
-let try_compile ?day machine level (p : Programs.t) =
+let try_compile ?config ?day machine level (p : Programs.t) =
   if Machine.fits machine p.Programs.circuit then
-    Some (Pipeline.compile ?day machine p.Programs.circuit ~level)
+    Some (compile_level ?config ?day machine level p.Programs.circuit)
   else None
 
-let try_success ?day ?trajectories machine level p =
+let try_success ?config ?day ?trajectories machine level p =
   Option.map
     (fun compiled ->
       let outcome =
         Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled) p.Programs.spec
       in
       outcome.Sim.Runner.success_rate)
-    (try_compile ?day machine level p)
+    (try_compile ?config ?day machine level p)
 
 (* ---------- Figure 1 ---------- *)
 
@@ -473,9 +484,8 @@ let scaling_data ?(node_budget = 20_000) ?(depth = 16) () =
       let n = rows * cols in
       let machine = Machines.bristlecone rows cols in
       let circuit = Supremacy.circuit ~seed:(1000 + n) ~rows ~cols ~depth in
-      let compiled =
-        Pipeline.compile ~node_budget machine circuit ~level:Pipeline.OneQOptCN
-      in
+      let config = Config.make ~node_budget () in
+      let compiled = compile_level ~config machine Pipeline.OneQOptCN circuit in
       ( Printf.sprintf "%dx%d d%d" rows cols depth,
         n,
         compiled.Pipeline.two_q_count,
@@ -592,14 +602,14 @@ let ablation_peephole_data () =
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
-        let without =
-          Pipeline.compile machine p.Programs.circuit ~level:Pipeline.OneQOptCN
+        let two_q config =
+          (compile_level ~config machine Pipeline.OneQOptCN p.Programs.circuit)
+            .Pipeline.two_q_count
         in
-        let with_ =
-          Pipeline.compile ~peephole:true machine p.Programs.circuit
-            ~level:Pipeline.OneQOptCN
-        in
-        Some (p.Programs.name, without.Pipeline.two_q_count, with_.Pipeline.two_q_count)
+        Some
+          ( p.Programs.name,
+            two_q Config.default,
+            two_q { Config.default with Config.peephole = true } )
       end)
     (benches ())
 
@@ -694,7 +704,7 @@ let coherence_data () =
     (fun machine ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
+          (compile_level machine Pipeline.OneQOptCN p.Programs.circuit)
       in
       let schedule = Pulse.Lower.of_compiled compiled in
       let duration_us = Pulse.Schedule.duration_ns schedule /. 1000.0 in
@@ -772,8 +782,9 @@ let print_characterize () =
    the contribution of reliability-path SWAP insertion (Section 4.4). *)
 let hybrid_routing_compile ?(day = 0) machine (p : Programs.t) =
   let started_at = Sys.time () in
-  let flat = Ir.Decompose.flatten p.Programs.circuit in
-  let calibration = Machine.calibration machine ~day in
+  let state, front_times = Baselines.Common.start machine ~day p.Programs.circuit in
+  let flat = state.Triq.Pass.circuit in
+  let calibration = state.Triq.Pass.calibration in
   let aware =
     Triq.Reliability.compute_cached ~noise_aware:true ~calibration machine ~day
   in
@@ -782,10 +793,9 @@ let hybrid_routing_compile ?(day = 0) machine (p : Programs.t) =
   in
   let placement = (Triq.Mapper.solve aware flat).Triq.Mapper.placement in
   let routed = Triq.Router.route unaware machine.Machine.topology ~placement flat in
-  Baselines.Common.finalize machine ~compiler:"TriQ-hybrid" ~day ~program:flat
-    ~initial_placement:placement ~routed:routed.Triq.Router.circuit
-    ~final_placement:routed.Triq.Router.final_placement
-    ~swap_count:routed.Triq.Router.swap_count ~started_at
+  Baselines.Common.finalize ~compiler:"TriQ-hybrid" ~routed:routed.Triq.Router.circuit
+    ~initial_placement:placement ~final_placement:routed.Triq.Router.final_placement
+    ~swap_count:routed.Triq.Router.swap_count ~started_at ~front_times state
 
 let ablation_routing_data ?trajectories () =
   let machine = Machines.ibmq14 in
@@ -824,7 +834,7 @@ let staleness_data ?trajectories ?(days = 8) () =
   let p = Programs.bv 6 in
   let stale_exe =
     Pipeline.to_compiled
-      (Pipeline.compile ~day:0 machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
+      (compile_level ~day:0 machine Pipeline.OneQOptCN p.Programs.circuit)
   in
   pmap_range days (fun day ->
       let stale =
@@ -834,8 +844,7 @@ let staleness_data ?trajectories ?(days = 8) () =
       let fresh =
         (Sim.Runner.run ?trajectories
            (Pipeline.to_compiled
-              (Pipeline.compile ~day machine p.Programs.circuit
-                 ~level:Pipeline.OneQOptCN))
+              (compile_level ~day machine Pipeline.OneQOptCN p.Programs.circuit))
            p.Programs.spec)
           .Sim.Runner.success_rate
       in
@@ -902,17 +911,17 @@ let ablation_lookahead_data ?trajectories () =
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
         let run router =
+          let config = { Config.default with Config.router } in
           let compiled =
-            Pipeline.compile ~router machine p.Programs.circuit
-              ~level:Pipeline.OneQOptCN
+            compile_level ~config machine Pipeline.OneQOptCN p.Programs.circuit
           in
           ( compiled.Pipeline.two_q_count,
             (Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled)
                p.Programs.spec)
               .Sim.Runner.success_rate )
         in
-        let d2, ds = run `Default in
-        let l2, ls = run `Lookahead in
+        let d2, ds = run Config.Default in
+        let l2, ls = run Config.Lookahead in
         Some (p.Programs.name, d2, ds, l2, ls)
       end)
     (benches ())
@@ -1079,7 +1088,7 @@ let parametric_data ?trajectories () =
           else begin
             let run machine =
               let compiled =
-                Pipeline.compile machine p.Programs.circuit ~level:Pipeline.OneQOptCN
+                compile_level machine Pipeline.OneQOptCN p.Programs.circuit
               in
               ( compiled.Pipeline.two_q_count,
                 (Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled)
@@ -1121,7 +1130,7 @@ let noise_model_data ?trajectories () =
       else begin
         let compiled =
           Pipeline.to_compiled
-            (Pipeline.compile machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
+            (compile_level machine Pipeline.OneQOptCN p.Programs.circuit)
         in
         let folded =
           (Sim.Runner.run ?trajectories compiled p.Programs.spec).Sim.Runner.success_rate
@@ -1161,7 +1170,7 @@ let ghz_fidelity ?trajectories machine n =
     let run gates =
       let circuit = Ir.Circuit.measure_all (Ir.Circuit.create n gates) measured in
       let compiled =
-        Pipeline.to_compiled (Pipeline.compile machine circuit ~level:Pipeline.OneQOptCN)
+        Pipeline.to_compiled (compile_level machine Pipeline.OneQOptCN circuit)
       in
       let spec =
         Ir.Spec.distribution measured

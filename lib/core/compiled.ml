@@ -16,6 +16,7 @@ type t = {
   flipped_cnots : int;
   esp : float;
   compile_time_s : float;
+  pass_times_s : (string * float) list;
 }
 
 let estimated_success_probability machine calibration (c : Ir.Circuit.t) =
@@ -31,8 +32,8 @@ let estimated_success_probability machine calibration (c : Ir.Circuit.t) =
       | Ccx _ | Cswap _ -> invalid_arg "Compiled.esp: not flattened")
     1.0 c.Ir.Circuit.gates
 
-let make ~machine ~compiler ~day ~hardware ~initial_placement ~final_placement
-    ~readout_map ~swap_count ~flipped_cnots ~compile_time_s =
+let make ?(pass_times_s = []) ~machine ~compiler ~day ~hardware ~initial_placement
+    ~final_placement ~readout_map ~swap_count ~flipped_cnots ~compile_time_s () =
   if not (Gateset.circuit_visible machine.Machine.basis hardware) then
     invalid_arg "Compiled.make: hardware circuit contains non-visible gates";
   let calibration = Machine.calibration machine ~day in
@@ -50,6 +51,7 @@ let make ~machine ~compiler ~day ~hardware ~initial_placement ~final_placement
     flipped_cnots;
     esp = estimated_success_probability machine calibration hardware;
     compile_time_s;
+    pass_times_s;
   }
 
 type error_budget = { two_q : float; one_q : float; readout : float }

@@ -18,13 +18,18 @@ type t = {
   flipped_cnots : int;
   esp : float;  (** estimated success probability under the calibration *)
   compile_time_s : float;
+  pass_times_s : (string * float) list;
+      (** per-pass wall time keyed by {!Pass.t} canonical names; [[]] when
+          the producer did not run through the pass driver *)
 }
 
-(** [make ...] assembles an executable, computing the derived statistics
-    (2Q count, pulse count, ESP) from the hardware circuit and the
-    machine's day-[day] calibration. The hardware circuit must be entirely
-    software-visible. *)
+(** [make ... ()] assembles an executable, computing the derived
+    statistics (2Q count, pulse count, ESP) from the hardware circuit and
+    the machine's day-[day] calibration. The hardware circuit must be
+    entirely software-visible. [pass_times_s] (default [[]]) records the
+    per-pass wall clock when the producer ran through the pass driver. *)
 val make :
+  ?pass_times_s:(string * float) list ->
   machine:Device.Machine.t ->
   compiler:string ->
   day:int ->
@@ -35,6 +40,7 @@ val make :
   swap_count:int ->
   flipped_cnots:int ->
   compile_time_s:float ->
+  unit ->
   t
 
 (** [estimated_success_probability machine calibration c] multiplies the

@@ -1,24 +1,12 @@
 module Machine = Device.Machine
-module Calibration = Device.Calibration
 module Gateset = Device.Gateset
 
-type level = N | OneQOpt | OneQOptC | OneQOptCN
+type level = Pass.level = N | OneQOpt | OneQOptC | OneQOptCN
 
-let all_levels = [ N; OneQOpt; OneQOptC; OneQOptCN ]
-
-let level_name = function
-  | N -> "TriQ-N"
-  | OneQOpt -> "TriQ-1QOpt"
-  | OneQOptC -> "TriQ-1QOptC"
-  | OneQOptCN -> "TriQ-1QOptCN"
-
-let level_of_string s =
-  match String.lowercase_ascii s with
-  | "n" | "triq-n" -> Some N
-  | "1qopt" | "triq-1qopt" -> Some OneQOpt
-  | "1qoptc" | "triq-1qoptc" -> Some OneQOptC
-  | "1qoptcn" | "triq-1qoptcn" -> Some OneQOptCN
-  | _ -> None
+let all_levels = Pass.all_levels
+let level_name = Pass.level_name
+let level_of_string = Pass.level_of_string
+let level_strings = Pass.level_strings
 
 type t = {
   machine : Machine.t;
@@ -41,185 +29,43 @@ type t = {
 
 let estimated_success_probability = Compiled.estimated_success_probability
 
-(* The pass-invariant harness: after each pass, run the applicable static
-   rules and attribute any violation to the pass that introduced it. *)
-let guard validate pass diags =
-  if validate then
-    match List.concat diags with
-    | [] -> ()
-    | ds -> raise (Analysis.Diag.Violation (pass, List.sort_uniq Analysis.Diag.compare ds))
+let of_outcome ~level (o : Pass.outcome) =
+  let s = o.Pass.state in
+  {
+    machine = s.Pass.machine;
+    level;
+    day = s.Pass.config.Pass.Config.day;
+    hardware = s.Pass.circuit;
+    initial_placement = s.Pass.initial_placement;
+    final_placement = s.Pass.final_placement;
+    readout_map = s.Pass.readout_map;
+    swap_count = s.Pass.swap_count;
+    two_q_count = Ir.Circuit.two_q_count s.Pass.circuit;
+    pulse_count =
+      Gateset.circuit_pulse_count s.Pass.machine.Machine.basis s.Pass.circuit;
+    flipped_cnots = s.Pass.flipped_cnots;
+    esp =
+      estimated_success_probability s.Pass.machine s.Pass.calibration s.Pass.circuit;
+    mapper_nodes = s.Pass.mapper_nodes;
+    mapper_optimal = s.Pass.mapper_optimal;
+    compile_time_s = o.Pass.compile_time_s;
+    pass_times_s = o.Pass.pass_times_s;
+  }
+
+let compile_schedule ?(config = Pass.Config.default) machine circuit
+    (schedule : Pass.Schedule.t) =
+  of_outcome ~level:schedule.Pass.Schedule.level
+    (Pass.run ~config machine circuit schedule)
 
 let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
     ?(validate = false) machine circuit ~level =
-  if not (Machine.fits machine circuit) then
-    Analysis.Diag.invalid ~rule:"circuit.bounds" ~layer:"pipeline"
-      "%d-qubit program does not fit %s (%d qubits)" circuit.Ir.Circuit.n_qubits
-      machine.Machine.name (Machine.n_qubits machine);
-  let t0 = Sys.time () in
-  let pass_times = ref [] in
-  let timed name f =
-    let start = Sys.time () in
-    let result = f () in
-    pass_times := (name, Sys.time () -. start) :: !pass_times;
-    result
+  let router =
+    match router with
+    | `Default -> Pass.Config.Default
+    | `Lookahead -> Pass.Config.Lookahead
   in
-  let flat = timed "flatten" (fun () -> Ir.Decompose.flatten circuit) in
-  let () =
-    let gates = flat.Ir.Circuit.gates in
-    guard validate "flatten"
-      [
-        Analysis.Check.qubit_bounds ~n_qubits:flat.Ir.Circuit.n_qubits ~layer:"flatten"
-          gates;
-        Analysis.Check.operand_distinct ~layer:"flatten" gates;
-        Analysis.Check.flattened ~layer:"flatten" gates;
-        Analysis.Check.measure_once ~layer:"flatten" gates;
-        Analysis.Check.measure_order ~layer:"flatten" gates;
-      ]
-  in
-  let calibration = Machine.calibration machine ~day in
-  let topology = machine.Machine.topology in
-  let noise_aware = match level with OneQOptCN -> true | N | OneQOpt | OneQOptC -> false in
-  let reliability =
-    timed "reliability" (fun () ->
-        Reliability.compute_cached ~noise_aware ~calibration machine ~day)
-  in
-  let initial_placement, mapper_nodes, mapper_optimal =
-    timed "mapping" (fun () ->
-        match level with
-        | N | OneQOpt ->
-          ( Mapper.trivial ~n_program:flat.Ir.Circuit.n_qubits
-              ~n_hardware:(Machine.n_qubits machine),
-            0,
-            true )
-        | OneQOptC | OneQOptCN ->
-          let r = Mapper.solve ?node_budget reliability flat in
-          (r.Mapper.placement, r.Mapper.nodes_explored, r.Mapper.optimal))
-  in
-  let () =
-    guard validate "mapping"
-      [
-        Analysis.Check.placement ~layer:"mapping" ~what:"initial placement"
-          ~n_hardware:(Machine.n_qubits machine) initial_placement;
-      ]
-  in
-  let routed =
-    timed "routing" (fun () ->
-        match router with
-        | `Default -> Router.route reliability topology ~placement:initial_placement flat
-        | `Lookahead ->
-          Router_lookahead.route reliability topology ~placement:initial_placement flat)
-  in
-  let () =
-    let gates = routed.Router.circuit.Ir.Circuit.gates in
-    guard validate "routing"
-      [
-        Analysis.Check.qubit_bounds ~n_qubits:(Machine.n_qubits machine)
-          ~layer:"routing" gates;
-        Analysis.Check.operand_distinct ~layer:"routing" gates;
-        Analysis.Check.flattened ~layer:"routing" gates;
-        Analysis.Check.coupling ~layer:"routing" topology gates;
-        Analysis.Check.measure_once ~layer:"routing" gates;
-        Analysis.Check.measure_order ~layer:"routing" gates;
-        Analysis.Check.placement ~layer:"routing" ~what:"final placement"
-          ~n_hardware:(Machine.n_qubits machine) routed.Router.final_placement;
-      ]
-  in
-  let hardware =
-    timed "translation" (fun () ->
-        let expanded =
-          Translate.expand_swaps ~basis:machine.Machine.basis routed.Router.circuit
-        in
-        let expanded = if peephole then Peephole.cancel_two_q expanded else expanded in
-        let () =
-          let gates = expanded.Ir.Circuit.gates in
-          guard validate
-            (if peephole then "peephole" else "swap expansion")
-            [
-              Analysis.Check.coupling ~layer:"translation" topology gates;
-              Analysis.Check.measure_once ~layer:"translation" gates;
-              Analysis.Check.measure_order ~layer:"translation" gates;
-            ]
-        in
-        let oriented = Direction.fix topology expanded in
-        let () =
-          guard validate "orientation repair"
-            [
-              Analysis.Check.direction ~layer:"orientation" topology
-                oriented.Ir.Circuit.gates;
-              Analysis.Check.coupling ~layer:"orientation" topology
-                oriented.Ir.Circuit.gates;
-            ]
-        in
-        let visible_two_q = Translate.two_q_to_visible machine.Machine.basis oriented in
-        let hw =
-          match level with
-          | N -> Oneq_opt.naive machine.Machine.basis visible_two_q
-          | OneQOpt | OneQOptC | OneQOptCN ->
-            Oneq_opt.optimize machine.Machine.basis visible_two_q
-        in
-        let () =
-          let gates = hw.Ir.Circuit.gates in
-          guard validate "translation"
-            [
-              Analysis.Check.qubit_bounds ~n_qubits:(Machine.n_qubits machine)
-                ~layer:"translation" gates;
-              Analysis.Check.gateset ~layer:"translation" machine.Machine.basis gates;
-              Analysis.Check.coupling ~layer:"translation" topology gates;
-              Analysis.Check.direction ~layer:"translation" topology gates;
-              Analysis.Check.measure_once ~layer:"translation" gates;
-              Analysis.Check.measure_order ~layer:"translation" gates;
-            ]
-        in
-        hw)
-  in
-  let flipped_cnots =
-    Direction.flipped_count topology
-      (Translate.expand_swaps ~basis:machine.Machine.basis routed.Router.circuit)
-  in
-  let compile_time_s = Sys.time () -. t0 in
-  let readout_map =
-    List.map
-      (fun p -> (p, routed.Router.final_placement.(p)))
-      (Ir.Circuit.measured_qubits flat)
-  in
-  let result =
-    {
-      machine;
-      level;
-      day;
-      hardware;
-      initial_placement;
-      final_placement = routed.Router.final_placement;
-      readout_map;
-      swap_count = routed.Router.swap_count;
-      two_q_count = Ir.Circuit.two_q_count hardware;
-      pulse_count = Gateset.circuit_pulse_count machine.Machine.basis hardware;
-      flipped_cnots;
-      esp = estimated_success_probability machine calibration hardware;
-      mapper_nodes;
-      mapper_optimal;
-      compile_time_s;
-      pass_times_s = List.rev !pass_times;
-    }
-  in
-  let () =
-    guard validate "readout"
-      [
-        Analysis.Check.check_executable
-          {
-            Analysis.Check.machine;
-            hardware;
-            initial_placement;
-            final_placement = result.final_placement;
-            readout_map;
-            measured = Some (Ir.Circuit.measured_qubits flat);
-            two_q_count = result.two_q_count;
-            pulse_count = result.pulse_count;
-            esp = result.esp;
-          };
-      ]
-  in
-  result
+  let config = { Pass.Config.day; node_budget; router; peephole; validate } in
+  compile_schedule ~config machine circuit (Pass.Schedule.of_level ~config level)
 
 let to_compiled t =
   {
@@ -236,4 +82,5 @@ let to_compiled t =
     flipped_cnots = t.flipped_cnots;
     esp = t.esp;
     compile_time_s = t.compile_time_s;
+    pass_times_s = t.pass_times_s;
   }

@@ -11,13 +11,23 @@
       data (noise-aware mapping and routing).
 
     All levels route through the topology, repair CNOT orientation on
-    directed machines, and emit only software-visible gates. *)
+    directed machines, and emit only software-visible gates.
 
-type level = N | OneQOpt | OneQOptC | OneQOptCN
+    The toolflow itself is implemented as first-class passes in {!Pass};
+    this module is the stable entry point: {!compile} runs a level's
+    named schedule, {!compile_schedule} runs any {!Pass.Schedule.t}. *)
+
+type level = Pass.level = N | OneQOpt | OneQOptC | OneQOptCN
 
 val all_levels : level list
 val level_name : level -> string
+
+(** Case-insensitive; accepts short ("1qoptcn") and display
+    ("TriQ-1QOptCN") forms. *)
 val level_of_string : string -> level option
+
+(** The accepted level spellings, for error messages. *)
+val level_strings : string list
 
 (** A compiled executable plus compilation metadata. *)
 type t = {
@@ -38,25 +48,28 @@ type t = {
   mapper_optimal : bool;
   compile_time_s : float;
   pass_times_s : (string * float) list;
-      (** per-pass wall time: flatten, reliability, mapping, routing,
-          translation (Section 6.5's compile-time attribution) *)
+      (** per-pass wall time keyed by {!Pass.t} canonical names, in
+          schedule order (Section 6.5's compile-time attribution) *)
 }
 
-(** [compile ?day ?node_budget machine circuit ~level] runs the toolflow
-    on a program circuit (which may contain Toffoli/Fredkin etc.; it is
-    flattened first). [peephole] (default false, not part of the paper's
-    pipeline) additionally cancels adjacent self-inverse 2Q pairs after
-    routing; [router] selects SWAP insertion: the paper's per-gate
+(** [compile ?day ?node_budget machine circuit ~level] runs the level's
+    named schedule on a program circuit (which may contain
+    Toffoli/Fredkin etc.; it is flattened first). This is a compatibility
+    wrapper over {!compile_schedule}: the optional arguments populate a
+    {!Pass.Config.t} and [level] selects {!Pass.Schedule.of_level}.
+
+    [peephole] (default false, not part of the paper's pipeline)
+    additionally cancels adjacent self-inverse 2Q pairs after routing;
+    [router] selects SWAP insertion: the paper's per-gate
     reliability-optimal router or the {!Router_lookahead} extension. Both
     extras are measured by ablation experiments.
 
     [validate] (default false) arms the pass-invariant harness: after
-    every pass (flatten, mapping, routing, swap expansion / peephole,
-    orientation repair, translation, readout-map construction) the
-    applicable static rules from {!Analysis.Check} run over that pass's
-    output, and a violation raises {!Analysis.Diag.Violation} naming the
-    pass that introduced it. A validated compile costs one extra linear
-    scan per pass — no simulation.
+    every pass the applicable static rules from {!Analysis.Check} run
+    over that pass's output, and a violation raises
+    {!Analysis.Diag.Violation} naming the pass that introduced it. A
+    validated compile costs one extra linear scan per pass — no
+    simulation.
 
     Raises [Invalid_argument] if the program has more qubits than the
     machine. *)
@@ -70,6 +83,14 @@ val compile :
   Ir.Circuit.t ->
   level:level ->
   t
+
+(** [compile_schedule ?config machine circuit schedule] runs an arbitrary
+    pass schedule (e.g. one edited with {!Pass.Schedule.disable} or built
+    by {!Pass.Schedule.make}) under [config] (default
+    {!Pass.Config.default}) and packages the final pass state as a
+    result. *)
+val compile_schedule :
+  ?config:Pass.Config.t -> Device.Machine.t -> Ir.Circuit.t -> Pass.Schedule.t -> t
 
 (** [to_compiled t] is the generic executable view shared with the
     baseline compilers and consumed by the simulator runner. *)

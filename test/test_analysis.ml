@@ -249,8 +249,14 @@ let test_normalized_raises () =
 
 (* ---------- The pass-invariant harness over the benchmark matrix ---------- *)
 
+(* Router/peephole ablations as typed configs: the grid iterates
+   Config.t values (each selecting a schedule edit), not option tuples. *)
 let matrix_configs =
-  [ (false, `Default); (true, `Default); (false, `Lookahead); (true, `Lookahead) ]
+  let open Triq.Pass.Config in
+  List.map
+    (fun (peephole, router) ->
+      { default with peephole; router; validate = true; node_budget = Some 20_000 })
+    [ (false, Default); (true, Default); (false, Lookahead); (true, Lookahead) ]
 
 let test_validated_matrix () =
   (* Every machine x level x fitting benchmark compiles with the validator
@@ -262,9 +268,12 @@ let test_validated_matrix () =
           if Device.Machine.fits machine p.Programs.circuit then
             List.iter
               (fun level ->
+                let config =
+                  Triq.Pass.Config.make ~node_budget:20_000 ~validate:true ()
+                in
                 let r =
-                  Pipeline.compile ~node_budget:20_000 ~validate:true machine
-                    p.Programs.circuit ~level
+                  Pipeline.compile_schedule ~config machine p.Programs.circuit
+                    (Triq.Pass.Schedule.of_level ~config level)
                 in
                 clean
                   (Printf.sprintf "%s/%s/%s" machine.Device.Machine.name
@@ -285,10 +294,10 @@ let test_validated_ablations () =
         (fun (p : Programs.t) ->
           if Device.Machine.fits machine p.Programs.circuit then
             List.iter
-              (fun (peephole, router) ->
+              (fun config ->
                 let r =
-                  Pipeline.compile ~node_budget:20_000 ~validate:true ~peephole
-                    ~router machine p.Programs.circuit ~level:Pipeline.OneQOptCN
+                  Pipeline.compile_schedule ~config machine p.Programs.circuit
+                    (Triq.Pass.Schedule.of_level ~config Pipeline.OneQOptCN)
                 in
                 clean
                   (Printf.sprintf "%s/%s ablation" machine.Device.Machine.name

@@ -549,6 +549,18 @@ let test_pipeline_level_names () =
       | Some l' when l = l' -> ()
       | _ -> Alcotest.fail "level name roundtrip")
     Pipeline.all_levels;
+  (* Parsing is case-insensitive in both the short and display forms. *)
+  Alcotest.(check bool) "uppercase short" true
+    (Pipeline.level_of_string "1QOPTCN" = Some Pipeline.OneQOptCN);
+  Alcotest.(check bool) "uppercase display" true
+    (Pipeline.level_of_string "TRIQ-1QOPTC" = Some Pipeline.OneQOptC);
+  Alcotest.(check bool) "mixed case" true
+    (Pipeline.level_of_string "TriQ-n" = Some Pipeline.N);
+  List.iter
+    (fun s ->
+      if Pipeline.level_of_string s = None then
+        Alcotest.failf "level_strings entry %S does not parse" s)
+    Pipeline.level_strings;
   Alcotest.(check bool) "unknown" true (Pipeline.level_of_string "bogus" = None)
 
 (* Semantic end-to-end check: compiled BV4 on a noiseless simulator of the
@@ -569,7 +581,10 @@ let test_pipeline_pass_timings () =
   let r = Pipeline.compile Machines.ibmq14 bv4 ~level:Pipeline.OneQOptCN in
   let names = List.map fst r.Pipeline.pass_times_s in
   Alcotest.(check (list string)) "pass order"
-    [ "flatten"; "reliability"; "mapping"; "routing"; "translation" ]
+    [
+      "flatten"; "reliability"; "mapping"; "routing"; "swap-expansion";
+      "orientation"; "translation"; "oneq"; "readout";
+    ]
     names;
   List.iter
     (fun (name, t) -> if t < 0.0 then Alcotest.failf "%s: negative time" name)
