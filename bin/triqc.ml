@@ -720,12 +720,72 @@ let bench_cmd =
   let doc = "List the built-in benchmarks, or run them all on a machine (--run)." in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ jobs_arg $ run_arg $ day_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Seed for the generator. The same seed replays the same cases." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let cases_arg =
+    let doc = "Number of generated cases per oracle." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Run a single oracle (roundtrip, semantic, schedule, determinism) \
+       instead of the whole catalog."
+    in
+    Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON object per oracle instead of the text report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () seed cases oracle json =
+    if cases < 1 then begin
+      Printf.eprintf "triqc: --cases expects a positive count, got %d\n" cases;
+      2
+    end
+    else begin
+      let reports =
+        match oracle with
+        | None -> Ok (Proptest.Oracle.run_all ~seed ~cases)
+        | Some name -> (
+          match Proptest.Oracle.run ~seed ~cases name with
+          | Ok r -> Ok [ r ]
+          | Error msg -> Error msg)
+      in
+      match reports with
+      | Error msg ->
+        Printf.eprintf "triqc: %s\n" msg;
+        2
+      | Ok reports ->
+        let render =
+          if json then Proptest.Oracle.report_json
+          else Proptest.Oracle.report_text
+        in
+        List.iter (fun r -> print_endline (render r)) reports;
+        let failed =
+          List.exists (fun r -> r.Proptest.Oracle.failure <> None) reports
+        in
+        if failed then 1 else 0
+    end
+  in
+  let doc =
+    "Differential-test the full stack on generated circuits: emit/parse \
+     round-trips, statevector-vs-density agreement, schedule semantic \
+     preservation, and cross-pool determinism. On failure, exits 1 and \
+     prints the shrunk counterexample as a paste-ready test case."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const run $ jobs_arg $ seed_arg $ cases_arg $ oracle_arg $ json_arg)
+
 let () =
   let doc = "TriQ: a multi-vendor noise-adaptive quantum compiler." in
   let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd ]
+      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd; fuzz_cmd ]
   in
   (* Every subcommand compiles, so handle validator violations uniformly
      here rather than per command. *)

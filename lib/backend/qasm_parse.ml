@@ -10,6 +10,11 @@ let fail line fmt = Printf.ksprintf (fun msg -> raise (Error (msg, line))) fmt
 
 let strip s = String.trim s
 
+(* Tabs are legal token separators in text some toolchains emit; fold them
+   into spaces so the space-based statement splitting below sees one
+   dialect. [String.trim] already strips CR from CRLF line endings. *)
+let normalize_line s = String.map (fun c -> if c = '\t' then ' ' else c) s
+
 (* Parse "name(args) rest" or "name rest"; returns (name, args, rest). *)
 let split_gate line_no text =
   match String.index_opt text '(' with
@@ -67,7 +72,7 @@ let parse source =
   List.iteri
     (fun idx raw ->
       let line_no = idx + 1 in
-      let text = strip raw in
+      let text = strip (normalize_line raw) in
       let text =
         (* Strip trailing // comments. *)
         let rec find_comment i =

@@ -23,6 +23,10 @@ let parse_angle line s =
 let split_words s =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
 
+(* Fold tab separators into spaces ([String.trim] already strips the CR of
+   CRLF line endings and trailing blanks). *)
+let normalize_line s = String.map (fun c -> if c = '\t' then ' ' else c) s
+
 let parse_gate_with_angle line text =
   match (String.index_opt text '(', String.index_opt text ')') with
   | Some o, Some c when c > o ->
@@ -50,7 +54,7 @@ let parse source =
   List.iteri
     (fun idx raw ->
       let line = idx + 1 in
-      let text = String.trim raw in
+      let text = String.trim (normalize_line raw) in
       if text = "" || text.[0] = '#' then ()
       else if String.length text >= 7 && String.sub text 0 7 = "DECLARE" then ()
       else if String.length text >= 8 && String.sub text 0 8 = "MEASURE " then begin

@@ -10,6 +10,10 @@ let parse_int line s =
 let parse_float line s =
   match float_of_string_opt s with Some f -> f | None -> fail line "bad angle %S" s
 
+(* Fold tab separators into spaces ([String.trim] already strips the CR of
+   CRLF line endings and trailing blanks). *)
+let normalize_line s = String.map (fun c -> if c = '\t' then ' ' else c) s
+
 let parse source =
   let gates = ref [] in
   let measured = ref [] in
@@ -18,7 +22,7 @@ let parse source =
   List.iteri
     (fun idx raw ->
       let line = idx + 1 in
-      let text = String.trim raw in
+      let text = String.trim (normalize_line raw) in
       if text = "" || text.[0] = ';' then ()
       else begin
         let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' text) in

@@ -236,7 +236,12 @@ let geomean_improvement ?(invert = false) rows ~better ~baseline to_float =
         | _ -> None)
       rows
   in
-  if pairs = [] then Float.nan else Stats.geomean_ratio pairs
+  (* Missing rows (machine skipped, benchmark absent) are a legitimate
+     report state, not a programming error: keep NaN as the "no data"
+     marker rather than letting geomean_ratio raise. *)
+  match Stats.geomean_ratio_opt pairs with
+  | Some g -> g
+  | None -> Float.nan
 
 (* ---------- Figure 9 ---------- *)
 

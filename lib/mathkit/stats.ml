@@ -36,11 +36,17 @@ let maximum l =
   require_non_empty "Stats.maximum" l;
   List.fold_left Float.max Float.neg_infinity l
 
-let geomean_ratio pairs =
+let geomean_ratio_opt pairs =
   let ratios =
     List.filter_map (fun (a, b) -> if b = 0.0 then None else Some (a /. b)) pairs
   in
-  if ratios = [] then Float.nan else geomean ratios
+  if ratios = [] then None else Some (geomean ratios)
+
+let geomean_ratio pairs =
+  match geomean_ratio_opt pairs with
+  | Some r -> r
+  | None ->
+    invalid_arg "Stats.geomean_ratio: no pairs with a non-zero denominator"
 
 let percentile p l =
   require_non_empty "Stats.percentile" l;

@@ -11,10 +11,15 @@ val maximum : float list -> float
 val sum : float list -> float
 
 (** [geomean_ratio pairs] is the geometric mean of [a /. b] over pairs
-    [(a, b)]; pairs whose denominator is zero are dropped, and the result is
-    [nan] if every pair is dropped. Used for "geomean improvement over
-    baseline" rows. *)
+    [(a, b)]; pairs whose denominator is zero are dropped. Raises
+    [Invalid_argument] if every pair is dropped (it used to return [nan],
+    which propagated silently into report tables). Used for "geomean
+    improvement over baseline" rows. *)
 val geomean_ratio : (float * float) list -> float
+
+(** Total variant of {!geomean_ratio}: [None] instead of raising when no
+    pair has a non-zero denominator. *)
+val geomean_ratio_opt : (float * float) list -> float option
 
 (** [percentile p l] is the [p]-th percentile (0 <= p <= 100) using linear
     interpolation between closest ranks. *)

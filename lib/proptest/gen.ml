@@ -1,0 +1,199 @@
+module Rng = Mathkit.Rng
+module G = Ir.Gate
+
+type 'a t = Rng.t -> 'a
+
+let return x _rng = x
+let map f g rng = f (g rng)
+let bind g f rng = f (g rng) rng
+let pair a b rng =
+  let x = a rng in
+  let y = b rng in
+  (x, y)
+
+let int_range lo hi rng =
+  if hi < lo then invalid_arg "Gen.int_range: empty range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let float_range lo hi rng = lo +. (Rng.float rng *. (hi -. lo))
+
+let bool p rng = Rng.bool rng p
+
+let one_of l rng = Rng.choose rng l
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: weights must be positive";
+  let target = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Gen.frequency: empty"
+    | (w, g) :: rest -> if target < acc + w then g else pick (acc + w) rest
+  in
+  (pick 0 weighted) rng
+
+let list_n n g rng =
+  let len = n rng in
+  List.init len (fun _ -> g rng)
+
+(* ---------- domain generators ---------- *)
+
+let two_pi = 2.0 *. Float.pi
+
+let special_angles =
+  [
+    0.0;
+    Float.pi;
+    -.Float.pi;
+    Float.pi /. 2.0;
+    -.(Float.pi /. 2.0);
+    Float.pi /. 4.0;
+    1e-3;
+    -1e-3;
+    1e-9;
+    2.0;
+    12.56637061435917;
+  ]
+
+let angle =
+  frequency
+    [ (3, float_range (-.two_pi) two_pi); (1, one_of special_angles) ]
+
+let distinct_qubits ~n k rng =
+  if k > n then invalid_arg "Gen.distinct_qubits: k > n";
+  let a = Array.init n Fun.id in
+  Rng.shuffle rng a;
+  Array.to_list (Array.sub a 0 k)
+
+let one_q_kind : G.one_q t =
+  frequency
+    [
+      (4, one_of [ G.X; G.Y; G.Z; G.H; G.S; G.Sdg; G.T; G.Tdg ]);
+      (2, map (fun a -> G.Rx a) angle);
+      (2, map (fun a -> G.Ry a) angle);
+      (2, map (fun a -> G.Rz a) angle);
+      (1, map (fun (t, p) -> G.Rxy (t, p)) (pair angle angle));
+      (1, map (fun a -> G.U1 a) angle);
+      (1, map (fun (p, l) -> G.U2 (p, l)) (pair angle angle));
+      (1, map (fun ((t, p), l) -> G.U3 (t, p, l)) (pair (pair angle angle) angle));
+    ]
+
+let two_q_kind : G.two_q t =
+  frequency
+    [
+      (3, return G.Cnot);
+      (2, return G.Cz);
+      (1, map (fun a -> G.Xx a) angle);
+      (1, return G.Swap);
+      (1, return G.Iswap);
+    ]
+
+let gate ~n_qubits rng =
+  let pick_one rng =
+    let k = one_q_kind rng in
+    G.One (k, int_range 0 (n_qubits - 1) rng)
+  in
+  let pick_two rng =
+    let k = two_q_kind rng in
+    match distinct_qubits ~n:n_qubits 2 rng with
+    | [ a; b ] -> G.Two (k, a, b)
+    | _ -> assert false
+  in
+  let pick_three ctor rng =
+    match distinct_qubits ~n:n_qubits 3 rng with
+    | [ a; b; c ] -> ctor a b c
+    | _ -> assert false
+  in
+  let choices =
+    if n_qubits >= 3 then
+      [
+        (5, pick_one);
+        (4, pick_two);
+        (1, pick_three (fun a b c -> G.Ccx (a, b, c)));
+        (1, pick_three (fun a b c -> G.Cswap (a, b, c)));
+      ]
+    else if n_qubits >= 2 then [ (5, pick_one); (4, pick_two) ]
+    else [ (1, pick_one) ]
+  in
+  frequency choices rng
+
+let body ~max_qubits ~max_gates rng =
+  let n = int_range 1 max_qubits rng in
+  let gates = list_n (int_range 0 max_gates) (gate ~n_qubits:n) rng in
+  Ir.Circuit.create n gates
+
+let measure_layer n rng =
+  let k = int_range 1 n rng in
+  let qs = List.sort compare (distinct_qubits ~n k rng) in
+  List.map (fun q -> G.Measure q) qs
+
+let circuit ~max_qubits ~max_gates rng =
+  let b = body ~max_qubits ~max_gates rng in
+  Ir.Circuit.append b (measure_layer b.Ir.Circuit.n_qubits rng)
+
+(* ---------- vendor-visible circuits ---------- *)
+
+(* Ensure the top wire carries an operation: Quil and TI asm have no
+   qubit declaration, so a parser can only infer the count from use. *)
+let touch_top_qubit ~mk_one n gates rng =
+  let top = n - 1 in
+  let touches_top g = List.mem top (G.qubits g) in
+  if List.exists touches_top gates then gates
+  else gates @ [ mk_one top rng ]
+
+let vendor_circuit ~one_kinds ~two_kinds ~mk_one ~max_qubits ~max_gates
+    ~allow_empty rng =
+  let n = int_range 1 max_qubits rng in
+  let vendor_gate rng =
+    if n >= 2 && Rng.bool rng 0.4 then begin
+      match distinct_qubits ~n 2 rng with
+      | [ a; b ] -> G.Two (one_of two_kinds rng rng, a, b)
+      | _ -> assert false
+    end
+    else G.One (one_of one_kinds rng rng, int_range 0 (n - 1) rng)
+  in
+  let min_gates = if allow_empty then 0 else 1 in
+  let gates = list_n (int_range min_gates max_gates) vendor_gate rng in
+  let gates = if allow_empty then gates else touch_top_qubit ~mk_one n gates rng in
+  let measures = if Rng.bool rng 0.6 then measure_layer n rng else [] in
+  Ir.Circuit.create n (gates @ measures)
+
+let ibm_visible_circuit ~max_qubits ~max_gates rng =
+  let one_kinds : G.one_q t list =
+    [
+      map (fun l -> G.U1 l) angle;
+      map (fun (p, l) -> G.U2 (p, l)) (pair angle angle);
+      map (fun ((t, p), l) -> G.U3 (t, p, l)) (pair (pair angle angle) angle);
+    ]
+  in
+  vendor_circuit ~one_kinds ~two_kinds:[ return G.Cnot ]
+    ~mk_one:(fun q rng -> G.One (G.U1 (angle rng), q))
+    ~max_qubits ~max_gates ~allow_empty:true rng
+
+let rigetti_visible_circuit ~max_qubits ~max_gates rng =
+  let one_kinds : G.one_q t list =
+    [ map (fun a -> G.Rx a) angle; map (fun a -> G.Rz a) angle ]
+  in
+  vendor_circuit ~one_kinds ~two_kinds:[ return G.Cz; return G.Iswap ]
+    ~mk_one:(fun q rng -> G.One (G.Rz (angle rng), q))
+    ~max_qubits ~max_gates ~allow_empty:false rng
+
+let umd_visible_circuit ~max_qubits ~max_gates rng =
+  let one_kinds : G.one_q t list =
+    [
+      map (fun (t, p) -> G.Rxy (t, p)) (pair angle angle);
+      map (fun a -> G.Rz a) angle;
+    ]
+  in
+  vendor_circuit ~one_kinds ~two_kinds:[ map (fun a -> G.Xx a) angle ]
+    ~mk_one:(fun q rng -> G.One (G.Rz (angle rng), q))
+    ~max_qubits ~max_gates ~allow_empty:false rng
+
+(* ---------- machine / toolflow space ---------- *)
+
+let machine = one_of (Device.Machines.all @ Device.Machines.extended)
+
+let level = one_of Triq.Pipeline.all_levels
+
+let router = one_of [ Triq.Pass.Config.Default; Triq.Pass.Config.Lookahead ]
+
+let day = int_range 0 6

@@ -1,0 +1,88 @@
+(** Seeded, deterministic generators over circuits and configuration
+    space.
+
+    A generator is a function of a {!Mathkit.Rng.t} stream. The harness
+    hands every test case its own stream split off a master seed
+    ({!Mathkit.Rng.split}), so case [i] of [triqc fuzz --seed S] is the
+    same value forever, independent of how many draws earlier cases or
+    the shrinker made. No QCheck dependency — the same splittable streams
+    the simulator uses drive generation. *)
+
+type 'a t = Mathkit.Rng.t -> 'a
+
+(** {1 Combinators} *)
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+(** [int_range lo hi] draws uniformly from the inclusive range. *)
+val int_range : int -> int -> int t
+
+val float_range : float -> float -> float t
+
+(** [bool p] is true with probability [p]. *)
+val bool : float -> bool t
+
+(** Uniform choice; raises [Invalid_argument] on []. *)
+val one_of : 'a list -> 'a t
+
+(** Weighted choice of sub-generators; weights must be positive. *)
+val frequency : (int * 'a t) list -> 'a t
+
+(** [list_n n g] draws a length with [n] then that many elements. *)
+val list_n : int t -> 'a t -> 'a list t
+
+(** {1 Domain generators} *)
+
+(** Rotation angles: a mixture of uniform draws over [-2pi, 2pi] and
+    adversarial special values (0, +-pi, +-pi/2, pi/4, tiny
+    scientific-notation magnitudes like 1e-3, and large multi-turn
+    angles) that stress emitter formatting and parser numerics. *)
+val angle : float t
+
+(** [distinct_qubits ~n k] draws [k] distinct qubit indices below [n]
+    (requires [k <= n]), in random order. *)
+val distinct_qubits : n:int -> int -> int list t
+
+(** A non-measure gate from the full IR set (Toffoli/Fredkin included
+    when [n_qubits >= 3]) on distinct in-range qubits. *)
+val gate : n_qubits:int -> Ir.Gate.t t
+
+(** A measure-free circuit: [1 <= n <= max_qubits] qubits and up to
+    [max_gates] gates from the full IR set. *)
+val body : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
+(** [circuit ~max_qubits ~max_gates] is {!body} plus a trailing
+    measurement layer on a random non-empty qubit subset. *)
+val circuit : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
+(** {2 Vendor software-visible circuits}
+
+    Circuits built only from the gates each vendor's emitter accepts,
+    for the emit -> parse round-trip oracle. The last qubit always
+    carries at least one operation so formats without a qubit
+    declaration (Quil, TI asm) can reconstruct the qubit count. *)
+
+(** IBM: U1/U2/U3 + CNOT (+ trailing measures). *)
+val ibm_visible_circuit : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
+(** Rigetti: Rx/Rz + CZ/iSWAP (+ trailing measures). *)
+val rigetti_visible_circuit : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
+(** UMD: Rxy/Rz + XX (+ trailing measures). *)
+val umd_visible_circuit : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
+(** {2 Machine / toolflow space} *)
+
+(** One of the built-in machines (including the extended set). *)
+val machine : Device.Machine.t t
+
+(** One of the four Table 1 levels. *)
+val level : Triq.Pipeline.level t
+
+val router : Triq.Pass.Config.router t
+
+(** A calibration day in [0, 6]. *)
+val day : int t

@@ -1,0 +1,85 @@
+module Rng = Mathkit.Rng
+
+type 'a property = 'a -> (unit, string) result
+
+type 'a spec = {
+  name : string;
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  show : 'a -> string;
+  prop : 'a property;
+}
+
+type 'a failure = {
+  case_index : int;
+  original : 'a;
+  original_message : string;
+  shrunk : 'a;
+  shrunk_message : string;
+  shrink_steps : int;
+}
+
+type 'a outcome = { cases_run : int; failure : 'a failure option }
+
+(* A raising property is a failing property: the harness exists to
+   surface crashes, not hide them. *)
+let eval prop x =
+  match prop x with
+  | r -> r
+  | exception e -> Error (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+let minimize ~budget spec x0 msg0 =
+  let evals = ref 0 in
+  let rec loop x msg steps =
+    if !evals >= budget then (x, msg, steps)
+    else begin
+      let next =
+        Seq.find_map
+          (fun candidate ->
+            if !evals >= budget then None
+            else begin
+              incr evals;
+              match eval spec.prop candidate with
+              | Ok () -> None
+              | Error m -> Some (candidate, m)
+            end)
+          (spec.shrink x)
+      in
+      match next with
+      | None -> (x, msg, steps)
+      | Some (y, m) -> loop y m (steps + 1)
+    end
+  in
+  loop x0 msg0 0
+
+let run ?(max_shrink_evals = 2000) ~seed ~cases spec =
+  let master = Rng.create seed in
+  let rec cases_loop i =
+    if i >= cases then { cases_run = cases; failure = None }
+    else begin
+      (* Each case draws from its own split stream: case [i] is the same
+         value regardless of other cases' consumption. *)
+      let case_rng = Rng.split master in
+      let x = spec.gen case_rng in
+      match eval spec.prop x with
+      | Ok () -> cases_loop (i + 1)
+      | Error msg ->
+        let shrunk, shrunk_message, shrink_steps =
+          minimize ~budget:max_shrink_evals spec x msg
+        in
+        {
+          cases_run = i + 1;
+          failure =
+            Some
+              {
+                case_index = i;
+                original = x;
+                original_message = msg;
+                shrunk;
+                shrunk_message;
+                shrink_steps;
+              };
+        }
+    end
+  in
+  cases_loop 0

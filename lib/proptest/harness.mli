@@ -1,0 +1,43 @@
+(** The property-running engine: generate cases from a seed, stop at the
+    first failure, shrink it to a local minimum.
+
+    Determinism contract: case [i] under seed [S] is always the same
+    value — each case's generator runs on a fresh stream split off the
+    master ({!Mathkit.Rng.split}), so neither earlier cases' draw counts
+    nor the shrinker perturb it. [triqc fuzz --seed S --cases N] is
+    therefore exactly reproducible, and a failure report's [case] index
+    plus seed pin down the original input forever. *)
+
+(** A property either holds, or fails with a message. Raising is also a
+    failure (the exception is captured); return [Ok ()] for cases that
+    don't meet the property's preconditions (vacuous pass) so the
+    shrinker cannot wander outside the property's domain. *)
+type 'a property = 'a -> (unit, string) result
+
+type 'a spec = {
+  name : string;
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  show : 'a -> string;  (** human-readable rendering for reports *)
+  prop : 'a property;
+}
+
+type 'a failure = {
+  case_index : int;  (** 0-based index of the failing generated case *)
+  original : 'a;
+  original_message : string;
+  shrunk : 'a;  (** local minimum under [spec.shrink] *)
+  shrunk_message : string;  (** failure message of the shrunk case *)
+  shrink_steps : int;  (** committed shrink steps (not candidate evals) *)
+}
+
+type 'a outcome = {
+  cases_run : int;  (** cases executed, including the failing one *)
+  failure : 'a failure option;
+}
+
+(** [run ~seed ~cases spec] executes up to [cases] generated cases and
+    stops at the first failure, which it shrinks with an evaluation
+    budget of [max_shrink_evals] candidate property calls (default
+    2000). *)
+val run : ?max_shrink_evals:int -> seed:int -> cases:int -> 'a spec -> 'a outcome

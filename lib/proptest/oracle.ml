@@ -1,0 +1,526 @@
+module Circuit = Ir.Circuit
+module G = Ir.Gate
+
+(* ---------- roundtrip ---------- *)
+
+type vendor = Qasm | Quil | Ti
+
+let vendor_name = function Qasm -> "qasm" | Quil -> "quil" | Ti -> "ti"
+
+let vendor_ctor = function Qasm -> "Qasm" | Quil -> "Quil" | Ti -> "Ti"
+
+(* CRLF line endings, trailing blanks, and tab separators: the
+   whitespace dialects real vendor toolchains produce. A parser must
+   read the mangled text identically. *)
+let mangle_whitespace text =
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         let tabbed = String.map (fun c -> if c = ' ' then '\t' else c) line in
+         tabbed ^ " \t")
+  |> String.concat "\r\n"
+
+let expected_readout c =
+  List.filter_map (function G.Measure q -> Some q | _ -> None) c.Circuit.gates
+  |> List.mapi (fun i q -> (i, q))
+
+let max_used_qubit c =
+  List.fold_left max (-1) (Circuit.used_qubits c)
+
+let gates_equal a b =
+  List.length a = List.length b && List.for_all2 G.equal a b
+
+(* Full-precision rendering: [G.to_string] rounds angles for display,
+   which would make a 1-ulp round-trip divergence print as two identical
+   gates. *)
+let pp_gates gates =
+  String.concat "; " (List.map Repro.gate_src gates)
+
+let check_parsed ~what ~expect_n c (parsed_circuit : Circuit.t) parsed_readout =
+  if not (gates_equal c.Circuit.gates parsed_circuit.Circuit.gates) then
+    Error
+      (Printf.sprintf "%s: gates changed across emit/parse:\n  emitted: %s\n  parsed:  %s"
+         what (pp_gates c.Circuit.gates) (pp_gates parsed_circuit.Circuit.gates))
+  else if parsed_circuit.Circuit.n_qubits <> expect_n then
+    Error
+      (Printf.sprintf "%s: qubit count %d parsed back as %d" what expect_n
+         parsed_circuit.Circuit.n_qubits)
+  else begin
+    let expected = expected_readout c in
+    if parsed_readout <> expected then
+      Error
+        (Printf.sprintf "%s: readout map changed: expected [%s], got [%s]" what
+           (String.concat "; "
+              (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) expected))
+           (String.concat "; "
+              (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) parsed_readout)))
+    else Ok ()
+  end
+
+let roundtrip_once vendor c ~what text =
+  match vendor with
+  | Qasm ->
+    let p = Backend.Qasm_parse.parse text in
+    check_parsed ~what ~expect_n:c.Circuit.n_qubits c p.Backend.Qasm_parse.circuit
+      p.Backend.Qasm_parse.readout
+  | Quil ->
+    let p = Backend.Quil_parse.parse text in
+    (* Quil has no qubit declaration: the parser can only infer the
+       count from the highest qubit used. *)
+    check_parsed ~what ~expect_n:(max_used_qubit c + 1) c
+      p.Backend.Quil_parse.circuit p.Backend.Quil_parse.readout
+  | Ti ->
+    let p = Backend.Ti_parse.parse text in
+    let readout = List.mapi (fun i q -> (i, q)) p.Backend.Ti_parse.measured in
+    check_parsed ~what ~expect_n:(max_used_qubit c + 1) c
+      p.Backend.Ti_parse.circuit readout
+
+let emit vendor c =
+  match vendor with
+  | Qasm ->
+    Backend.Qasm_emit.emit_circuit ~n_qubits:c.Circuit.n_qubits ~name:"fuzz" c
+  | Quil -> Backend.Quil_emit.emit_circuit ~name:"fuzz" c
+  | Ti -> Backend.Ti_emit.emit_circuit ~name:"fuzz" c
+
+let check_roundtrip vendor c =
+  (* Quil and TI have no qubit declaration, so an empty program carries no
+     information and the parsers reject it by design: out of domain (the
+     generators never produce one, but the shrinker can). *)
+  if c.Circuit.gates = [] && vendor <> Qasm then Ok ()
+  else
+  match emit vendor c with
+  | exception Invalid_argument msg ->
+    Error (Printf.sprintf "emitter rejected a software-visible circuit: %s" msg)
+  | text -> (
+    let name = vendor_name vendor in
+    match roundtrip_once vendor c ~what:name text with
+    | Error _ as e -> e
+    | Ok () -> (
+      let mangled = mangle_whitespace text in
+      match roundtrip_once vendor c ~what:(name ^ "+whitespace") mangled with
+      | exception e ->
+        Error
+          (Printf.sprintf
+             "%s: whitespace-mangled text (CRLF/tabs) no longer parses: %s" name
+             (Printexc.to_string e))
+      | r -> r))
+
+(* ---------- semantic ---------- *)
+
+let check_semantic c =
+  let body = Circuit.body c in
+  let n = body.Circuit.n_qubits in
+  if n > 6 then Ok () (* vacuous: density sim would be too large *)
+  else begin
+    let sv = Sim.Statevector.run body in
+    let sv_probs = Sim.Statevector.probabilities sv in
+    let d = Sim.Density.init n in
+    List.iter (Sim.Density.apply_gate d) body.Circuit.gates;
+    let rho_probs = Sim.Density.populations d in
+    let dim = 1 lsl n in
+    if Array.length rho_probs <> dim then
+      Error
+        (Printf.sprintf "density populations has %d entries, expected %d"
+           (Array.length rho_probs) dim)
+    else begin
+      let l1 = ref 0.0 in
+      for i = 0 to dim - 1 do
+        l1 := !l1 +. Float.abs (sv_probs.(i) -. rho_probs.(i))
+      done;
+      if !l1 <= 1e-9 then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "statevector and density disagree: L1 distance %.3e (> 1e-9)" !l1)
+    end
+  end
+
+(* ---------- schedule ---------- *)
+
+let check_schedule ~machine ~level ~router ~peephole ~day c =
+  let measured = Circuit.measured_qubits c in
+  if (not (Device.Machine.fits machine c)) || measured = [] then Ok ()
+  else begin
+    let config = Triq.Pass.Config.make ~day ~router ~peephole () in
+    let schedule = Triq.Pass.Schedule.of_level ~config level in
+    match Triq.Pipeline.compile_schedule ~config machine c schedule with
+    | exception e ->
+      Error
+        (Printf.sprintf "%s at %s (router=%s, peephole=%b, day=%d) raised: %s"
+           machine.Device.Machine.name
+           (Triq.Pipeline.level_name level)
+           (Triq.Pass.Config.router_name router)
+           peephole day (Printexc.to_string e))
+    | compiled -> (
+      let executable = Triq.Pipeline.to_compiled compiled in
+      match Sim.Verify.check ~program:c ~measured executable with
+      | exception e ->
+        Error
+          (Printf.sprintf "%s at %s: verification raised: %s"
+             machine.Device.Machine.name
+             (Triq.Pipeline.level_name level)
+             (Printexc.to_string e))
+      | result ->
+        if result.Sim.Verify.equivalent then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "%s at %s (router=%s, peephole=%b, day=%d): compiled output \
+                diverges, total variation %.6f"
+               machine.Device.Machine.name
+               (Triq.Pipeline.level_name level)
+               (Triq.Pass.Config.router_name router)
+               peephole day result.Sim.Verify.total_variation))
+  end
+
+(* ---------- determinism ---------- *)
+
+(* One pool per size, created on first use and kept for the process
+   lifetime (mirrors Parallel.Pool.default). *)
+let pools = lazy (List.map (fun j -> (j, Parallel.Pool.create ~jobs:j)) [ 1; 2; 8 ])
+
+let outcome_diff (a : Sim.Runner.outcome) (b : Sim.Runner.outcome) =
+  if a.Sim.Runner.distribution <> b.Sim.Runner.distribution then
+    Some "distribution"
+  else if a.Sim.Runner.counts <> b.Sim.Runner.counts then Some "counts"
+  else if a.Sim.Runner.success_rate <> b.Sim.Runner.success_rate then
+    Some "success_rate"
+  else if a.Sim.Runner.dominant_correct <> b.Sim.Runner.dominant_correct then
+    Some "dominant_correct"
+  else None
+
+let check_determinism ~machine ~sample_counts ~explicit_t1 ~run_seed c =
+  let measured = Circuit.measured_qubits c in
+  if (not (Device.Machine.fits machine c)) || measured = [] then Ok ()
+  else begin
+    match
+      Triq.Pipeline.compile machine c ~level:Triq.Pipeline.OneQOptCN
+    with
+    | exception e ->
+      Error (Printf.sprintf "compile raised: %s" (Printexc.to_string e))
+    | compiled -> (
+      let executable = Triq.Pipeline.to_compiled compiled in
+      let spec =
+        match Sim.Runner.ideal_distribution (Circuit.body c) ~measured with
+        | [] -> Ir.Spec.deterministic measured (String.make (List.length measured) '0')
+        | dist -> Ir.Spec.distribution measured dist
+      in
+      let run pool =
+        Sim.Runner.run ~seed:run_seed ~trials:512 ~trajectories:60 ~sample_counts
+          ~explicit_t1 ~pool executable spec
+      in
+      match List.map (fun (j, p) -> (j, run p)) (Lazy.force pools) with
+      | exception e ->
+        Error (Printf.sprintf "runner raised: %s" (Printexc.to_string e))
+      | [] | [ _ ] -> Ok ()
+      | (j0, reference) :: rest ->
+        List.fold_left
+          (fun acc (j, outcome) ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> (
+              match outcome_diff reference outcome with
+              | None -> Ok ()
+              | Some field ->
+                Error
+                  (Printf.sprintf
+                     "outcome %s differs between -j %d and -j %d (machine %s, \
+                      sample_counts=%b, explicit_t1=%b, seed=%d)"
+                     field j0 j machine.Device.Machine.name sample_counts
+                     explicit_t1 run_seed)))
+          (Ok ()) rest)
+  end
+
+(* ---------- generated case types ---------- *)
+
+type roundtrip_case = { rt_vendor : vendor; rt_circuit : Circuit.t }
+
+type schedule_case = {
+  sc_machine : Device.Machine.t;
+  sc_level : Triq.Pipeline.level;
+  sc_router : Triq.Pass.Config.router;
+  sc_peephole : bool;
+  sc_day : int;
+  sc_circuit : Circuit.t;
+}
+
+type determinism_case = {
+  dt_machine : Device.Machine.t;
+  dt_sample_counts : bool;
+  dt_explicit_t1 : bool;
+  dt_run_seed : int;
+  dt_circuit : Circuit.t;
+}
+
+let show_circuit c = Format.asprintf "%a" Circuit.pp c
+
+let level_ctor = function
+  | Triq.Pipeline.N -> "N"
+  | Triq.Pipeline.OneQOpt -> "OneQOpt"
+  | Triq.Pipeline.OneQOptC -> "OneQOptC"
+  | Triq.Pipeline.OneQOptCN -> "OneQOptCN"
+
+let router_ctor = function
+  | Triq.Pass.Config.Default -> "Default"
+  | Triq.Pass.Config.Lookahead -> "Lookahead"
+
+(* ---------- harness specs ---------- *)
+
+let roundtrip_spec : roundtrip_case Harness.spec =
+  {
+    Harness.name = "roundtrip";
+    gen =
+      (fun rng ->
+        let v = Gen.one_of [ Qasm; Quil; Ti ] rng in
+        let circuit =
+          match v with
+          | Qasm -> Gen.ibm_visible_circuit ~max_qubits:5 ~max_gates:16 rng
+          | Quil -> Gen.rigetti_visible_circuit ~max_qubits:5 ~max_gates:16 rng
+          | Ti -> Gen.umd_visible_circuit ~max_qubits:5 ~max_gates:16 rng
+        in
+        { rt_vendor = v; rt_circuit = circuit });
+    shrink =
+      Shrink.lift
+        ~get:(fun c -> c.rt_circuit)
+        ~set:(fun c circuit -> { c with rt_circuit = circuit })
+        Shrink.circuit;
+    show =
+      (fun c ->
+        Printf.sprintf "format=%s\n%s" (vendor_name c.rt_vendor)
+          (show_circuit c.rt_circuit));
+    prop = (fun c -> check_roundtrip c.rt_vendor c.rt_circuit);
+  }
+
+let semantic_spec : Circuit.t Harness.spec =
+  {
+    Harness.name = "semantic";
+    gen = Gen.body ~max_qubits:6 ~max_gates:24;
+    shrink = Shrink.circuit;
+    show = show_circuit;
+    prop = check_semantic;
+  }
+
+let schedule_shrink (c : schedule_case) =
+  let configs =
+    (if c.sc_peephole then [ { c with sc_peephole = false } ] else [])
+    @ (if c.sc_router = Triq.Pass.Config.Lookahead then
+         [ { c with sc_router = Triq.Pass.Config.Default } ]
+       else [])
+    @ (if c.sc_day > 0 then [ { c with sc_day = 0 } ] else [])
+    @
+    match c.sc_level with
+    | Triq.Pipeline.N -> []
+    | _ -> [ { c with sc_level = Triq.Pipeline.N } ]
+  in
+  Seq.append (List.to_seq configs)
+    (Seq.map (fun circuit -> { c with sc_circuit = circuit })
+       (Shrink.circuit c.sc_circuit))
+
+let schedule_spec : schedule_case Harness.spec =
+  {
+    Harness.name = "schedule";
+    gen =
+      (fun rng ->
+        let machine = Gen.machine rng in
+        let max_qubits = min 5 (Device.Machine.n_qubits machine) in
+        {
+          sc_machine = machine;
+          sc_level = Gen.level rng;
+          sc_router = Gen.router rng;
+          sc_peephole = Gen.bool 0.3 rng;
+          sc_day = Gen.day rng;
+          sc_circuit = Gen.circuit ~max_qubits ~max_gates:12 rng;
+        });
+    shrink = schedule_shrink;
+    show =
+      (fun c ->
+        Printf.sprintf "machine=%s level=%s router=%s peephole=%b day=%d\n%s"
+          c.sc_machine.Device.Machine.name
+          (Triq.Pipeline.level_name c.sc_level)
+          (Triq.Pass.Config.router_name c.sc_router)
+          c.sc_peephole c.sc_day (show_circuit c.sc_circuit));
+    prop =
+      (fun c ->
+        check_schedule ~machine:c.sc_machine ~level:c.sc_level
+          ~router:c.sc_router ~peephole:c.sc_peephole ~day:c.sc_day c.sc_circuit);
+  }
+
+let determinism_spec : determinism_case Harness.spec =
+  {
+    Harness.name = "determinism";
+    gen =
+      (fun rng ->
+        let machine = Gen.one_of Device.Machines.all rng in
+        let max_qubits = min 4 (Device.Machine.n_qubits machine) in
+        {
+          dt_machine = machine;
+          dt_sample_counts = Gen.bool 0.5 rng;
+          dt_explicit_t1 = Gen.bool 0.3 rng;
+          dt_run_seed = Gen.int_range 0 1_000_000 rng;
+          dt_circuit = Gen.circuit ~max_qubits ~max_gates:10 rng;
+        });
+    shrink =
+      Shrink.lift
+        ~get:(fun c -> c.dt_circuit)
+        ~set:(fun c circuit -> { c with dt_circuit = circuit })
+        Shrink.circuit;
+    show =
+      (fun c ->
+        Printf.sprintf "machine=%s sample_counts=%b explicit_t1=%b seed=%d\n%s"
+          c.dt_machine.Device.Machine.name c.dt_sample_counts c.dt_explicit_t1
+          c.dt_run_seed (show_circuit c.dt_circuit));
+    prop =
+      (fun c ->
+        check_determinism ~machine:c.dt_machine ~sample_counts:c.dt_sample_counts
+          ~explicit_t1:c.dt_explicit_t1 ~run_seed:c.dt_run_seed c.dt_circuit);
+  }
+
+(* ---------- reports ---------- *)
+
+let catalog =
+  [
+    ("roundtrip", "emit -> parse reproduces the circuit for all three vendors");
+    ("semantic", "statevector and density simulators agree on ideal outputs");
+    ("schedule", "every level and router/peephole ablation preserves semantics");
+    ("determinism", "Sim.Runner outcomes identical across -j 1/2/8");
+  ]
+
+type failure_report = {
+  case_index : int;
+  message : string;
+  original_message : string;
+  shrunk_show : string;
+  repro : string;
+  shrink_steps : int;
+}
+
+type report = {
+  oracle : string;
+  seed : int;
+  cases : int;
+  cases_run : int;
+  failure : failure_report option;
+}
+
+let machine_expr (m : Device.Machine.t) =
+  Printf.sprintf "(Option.get (Device.Machines.find %S))" m.Device.Machine.name
+
+let run_spec ~seed ~cases (spec : 'a Harness.spec) ~(repro : 'a -> string) =
+  let o = Harness.run ~seed ~cases spec in
+  {
+    oracle = spec.Harness.name;
+    seed;
+    cases;
+    cases_run = o.Harness.cases_run;
+    failure =
+      Option.map
+        (fun (f : 'a Harness.failure) ->
+          {
+            case_index = f.Harness.case_index;
+            message = f.Harness.shrunk_message;
+            original_message = f.Harness.original_message;
+            shrunk_show = spec.Harness.show f.Harness.shrunk;
+            repro = repro f.Harness.shrunk;
+            shrink_steps = f.Harness.shrink_steps;
+          })
+        o.Harness.failure;
+  }
+
+let run ~seed ~cases name =
+  match name with
+  | "roundtrip" ->
+    Ok
+      (run_spec ~seed ~cases roundtrip_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"roundtrip"
+             ~check_expr:
+               (Printf.sprintf
+                  "Proptest.Oracle.check_roundtrip Proptest.Oracle.%s circuit"
+                  (vendor_ctor c.rt_vendor))
+             c.rt_circuit))
+  | "semantic" ->
+    Ok
+      (run_spec ~seed ~cases semantic_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"semantic"
+             ~check_expr:"Proptest.Oracle.check_semantic circuit" c))
+  | "schedule" ->
+    Ok
+      (run_spec ~seed ~cases schedule_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"schedule"
+             ~check_expr:
+               (Printf.sprintf
+                  "Proptest.Oracle.check_schedule ~machine:%s \
+                   ~level:Triq.Pipeline.%s ~router:Triq.Pass.Config.%s \
+                   ~peephole:%b ~day:%d circuit"
+                  (machine_expr c.sc_machine) (level_ctor c.sc_level)
+                  (router_ctor c.sc_router) c.sc_peephole c.sc_day)
+             c.sc_circuit))
+  | "determinism" ->
+    Ok
+      (run_spec ~seed ~cases determinism_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"determinism"
+             ~check_expr:
+               (Printf.sprintf
+                  "Proptest.Oracle.check_determinism ~machine:%s \
+                   ~sample_counts:%b ~explicit_t1:%b ~run_seed:%d circuit"
+                  (machine_expr c.dt_machine) c.dt_sample_counts
+                  c.dt_explicit_t1 c.dt_run_seed)
+             c.dt_circuit))
+  | other ->
+    Error
+      (Printf.sprintf "unknown oracle %S (known: %s)" other
+         (String.concat ", " (List.map fst catalog)))
+
+let run_all ~seed ~cases =
+  List.map
+    (fun (name, _) ->
+      match run ~seed ~cases name with Ok r -> r | Error msg -> failwith msg)
+    catalog
+
+let indent_block prefix s =
+  String.split_on_char '\n' s
+  |> List.map (fun line -> if line = "" then line else prefix ^ line)
+  |> String.concat "\n"
+
+let report_text r =
+  match r.failure with
+  | None ->
+    Printf.sprintf "%-12s %d cases, seed %d: ok" r.oracle r.cases r.seed
+  | Some f ->
+    String.concat "\n"
+      [
+        Printf.sprintf "%-12s %d cases, seed %d: FAIL at case %d (%d shrink steps)"
+          r.oracle r.cases r.seed f.case_index f.shrink_steps;
+        "  message: " ^ f.message;
+        "  shrunk counterexample:";
+        indent_block "    " f.shrunk_show;
+        "  repro (paste into test/test_proptest.ml):";
+        indent_block "    " f.repro;
+      ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_json r =
+  match r.failure with
+  | None ->
+    Printf.sprintf
+      "{\"oracle\":\"%s\",\"seed\":%d,\"cases\":%d,\"cases_run\":%d,\"status\":\"ok\"}"
+      (json_escape r.oracle) r.seed r.cases r.cases_run
+  | Some f ->
+    Printf.sprintf
+      "{\"oracle\":\"%s\",\"seed\":%d,\"cases\":%d,\"cases_run\":%d,\"status\":\"fail\",\"case\":%d,\"shrink_steps\":%d,\"message\":\"%s\",\"original_message\":\"%s\",\"shrunk\":\"%s\",\"repro\":\"%s\"}"
+      (json_escape r.oracle) r.seed r.cases r.cases_run f.case_index
+      f.shrink_steps (json_escape f.message)
+      (json_escape f.original_message)
+      (json_escape f.shrunk_show) (json_escape f.repro)

@@ -1,0 +1,72 @@
+module G = Ir.Gate
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f." f
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+       || String.contains s 'n' (* nan, inf have no digits to misread *)
+    then s
+    else s ^ "."
+  end
+
+(* Wrap negative literals so they parse as constructor arguments. *)
+let arg f = if f < 0.0 then "(" ^ float_lit f ^ ")" else float_lit f
+
+let one_q_src (k : G.one_q) =
+  match k with
+  | G.X -> "X"
+  | G.Y -> "Y"
+  | G.Z -> "Z"
+  | G.H -> "H"
+  | G.S -> "S"
+  | G.Sdg -> "Sdg"
+  | G.T -> "T"
+  | G.Tdg -> "Tdg"
+  | G.Rx a -> Printf.sprintf "Rx %s" (arg a)
+  | G.Ry a -> Printf.sprintf "Ry %s" (arg a)
+  | G.Rz a -> Printf.sprintf "Rz %s" (arg a)
+  | G.Rxy (t, p) -> Printf.sprintf "Rxy (%s, %s)" (float_lit t) (float_lit p)
+  | G.U1 a -> Printf.sprintf "U1 %s" (arg a)
+  | G.U2 (p, l) -> Printf.sprintf "U2 (%s, %s)" (float_lit p) (float_lit l)
+  | G.U3 (t, p, l) ->
+    Printf.sprintf "U3 (%s, %s, %s)" (float_lit t) (float_lit p) (float_lit l)
+
+let two_q_src (k : G.two_q) =
+  match k with
+  | G.Cnot -> "Cnot"
+  | G.Cz -> "Cz"
+  | G.Xx a -> Printf.sprintf "Xx %s" (arg a)
+  | G.Swap -> "Swap"
+  | G.Iswap -> "Iswap"
+
+let gate_src (g : G.t) =
+  match g with
+  | G.One (k, q) -> Printf.sprintf "One (%s, %d)" (one_q_src k) q
+  | G.Two (k, a, b) -> Printf.sprintf "Two (%s, %d, %d)" (two_q_src k) a b
+  | G.Ccx (a, b, c) -> Printf.sprintf "Ccx (%d, %d, %d)" a b c
+  | G.Cswap (a, b, c) -> Printf.sprintf "Cswap (%d, %d, %d)" a b c
+  | G.Measure q -> Printf.sprintf "Measure %d" q
+
+let circuit_src ~indent (c : Ir.Circuit.t) =
+  match c.Ir.Circuit.gates with
+  | [] -> Printf.sprintf "Ir.Circuit.create %d []" c.Ir.Circuit.n_qubits
+  | gates ->
+    let body =
+      String.concat (";\n" ^ indent ^ "    ") (List.map gate_src gates)
+    in
+    Printf.sprintf "Ir.Circuit.create %d\n%s  [ %s ]" c.Ir.Circuit.n_qubits
+      indent body
+
+let alcotest_case ~oracle ~check_expr c =
+  String.concat "\n"
+    [
+      Printf.sprintf "(* pinned by triqc fuzz: %s oracle *)" oracle;
+      "let fuzz_regression () =";
+      "  let open Ir.Gate in";
+      Printf.sprintf "  let circuit =\n    %s\n  in"
+        (circuit_src ~indent:"  " c);
+      Printf.sprintf "  match %s with" check_expr;
+      "  | Ok () -> ()";
+      "  | Error msg -> Alcotest.fail msg";
+    ]

@@ -1,0 +1,24 @@
+(** Render failing cases back to OCaml source.
+
+    A shrunk counterexample is only useful if it can be pinned: these
+    printers produce a ready-to-paste Alcotest case (for
+    [test/test_proptest.ml]) that rebuilds the exact circuit — float
+    literals printed with 17 significant digits round-trip exactly — and
+    re-runs the oracle that failed. *)
+
+(** A float as a valid OCaml literal ([3.] not [3]; exact to 1 ulp). *)
+val float_lit : float -> string
+
+(** A gate as a constructor expression, assuming [open Ir.Gate]. *)
+val gate_src : Ir.Gate.t -> string
+
+(** [circuit_src ~indent c] is an [Ir.Circuit.create] expression,
+    assuming [open Ir.Gate] in scope. *)
+val circuit_src : indent:string -> Ir.Circuit.t -> string
+
+(** [alcotest_case ~oracle ~check_expr c] is a complete test function
+    whose body rebuilds [c], binds it to [circuit], and fails the test
+    with the oracle's message if [check_expr] returns [Error _].
+    [check_expr] must be an expression of type
+    [(unit, string) result] referring to [circuit]. *)
+val alcotest_case : oracle:string -> check_expr:string -> Ir.Circuit.t -> string

@@ -1,0 +1,107 @@
+module G = Ir.Gate
+
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+let int n =
+  if n = 0 then Seq.empty
+  else begin
+    let rec candidates acc cur =
+      (* 0, n/2, 3n/4, ... n-1: approach n from below. *)
+      if cur = n then List.rev acc
+      else candidates (cur :: acc) (cur + max 1 ((n - cur) / 2))
+    in
+    List.to_seq (candidates [] 0)
+  end
+
+let append a b x = Seq.append (a x) (b x)
+
+let lift ~get ~set shrink x = Seq.map (set x) (shrink (get x))
+
+(* ---------- circuits ---------- *)
+
+(* Replace an angle by progressively simpler values. 0 first (kills the
+   rotation entirely), then a short decimal that keeps the magnitude. *)
+let angle_candidates a =
+  if a = 0.0 then []
+  else begin
+    let rounded = Float.of_string (Printf.sprintf "%.3g" a) in
+    0.0 :: (if rounded <> a && rounded <> 0.0 then [ rounded ] else [])
+  end
+
+let one_q_candidates (k : G.one_q) : G.one_q list =
+  match k with
+  | G.Rx a -> List.map (fun a -> G.Rx a) (angle_candidates a)
+  | G.Ry a -> List.map (fun a -> G.Ry a) (angle_candidates a)
+  | G.Rz a -> List.map (fun a -> G.Rz a) (angle_candidates a)
+  | G.U1 a -> List.map (fun a -> G.U1 a) (angle_candidates a)
+  | G.Rxy (t, p) ->
+    List.map (fun t -> G.Rxy (t, p)) (angle_candidates t)
+    @ List.map (fun p -> G.Rxy (t, p)) (angle_candidates p)
+  | G.U2 (p, l) ->
+    List.map (fun p -> G.U2 (p, l)) (angle_candidates p)
+    @ List.map (fun l -> G.U2 (p, l)) (angle_candidates l)
+  | G.U3 (t, p, l) ->
+    List.map (fun t -> G.U3 (t, p, l)) (angle_candidates t)
+    @ List.map (fun p -> G.U3 (t, p, l)) (angle_candidates p)
+    @ List.map (fun l -> G.U3 (t, p, l)) (angle_candidates l)
+  | _ -> []
+
+let gate_candidates (g : G.t) : G.t list =
+  match g with
+  | G.One (k, q) -> List.map (fun k -> G.One (k, q)) (one_q_candidates k)
+  | G.Two (G.Xx a, x, y) ->
+    List.map (fun a -> G.Two (G.Xx a, x, y)) (angle_candidates a)
+  | _ -> []
+
+(* Aligned-chunk removals: sizes len/2, len/4, ..., 1. *)
+let chunk_removals gates =
+  let arr = Array.of_list gates in
+  let len = Array.length arr in
+  let drop_range start size =
+    Array.to_list
+      (Array.append (Array.sub arr 0 start)
+         (Array.sub arr (start + size) (len - start - size)))
+  in
+  (* Largest chunks first: len/2, len/4, ..., 1. *)
+  let rec sizes s = if s < 1 then [] else s :: sizes (s / 2) in
+  let chunk_sizes = if len = 0 then [] else if len = 1 then [ 1 ] else sizes (len / 2) in
+  List.concat_map
+    (fun size ->
+      let rec chunks start acc =
+        if start + size > len then List.rev acc
+        else chunks (start + size) (drop_range start size :: acc)
+      in
+      chunks 0 [])
+    chunk_sizes
+
+let circuit (c : Ir.Circuit.t) =
+  let n = c.Ir.Circuit.n_qubits in
+  let gates = c.Ir.Circuit.gates in
+  let removals =
+    List.map (fun gs -> Ir.Circuit.create n gs) (chunk_removals gates)
+  in
+  let simplifications =
+    List.concat
+      (List.mapi
+         (fun i g ->
+           List.map
+             (fun g' ->
+               Ir.Circuit.create n
+                 (List.mapi (fun j old -> if i = j then g' else old) gates))
+             (gate_candidates g))
+         gates)
+  in
+  let compacted =
+    if List.length (Ir.Circuit.used_qubits c) < n then
+      [ fst (Ir.Circuit.compact c) ]
+    else []
+  in
+  (* A candidate equal to the input (e.g. compacting an already-minimal
+     circuit) would let the minimizer "commit" forever without progress,
+     burning its whole eval budget in a cycle. *)
+  List.to_seq
+    (List.filter
+       (fun c' -> not (Ir.Circuit.equal c' c))
+       (removals @ simplifications @ compacted))

@@ -1,0 +1,33 @@
+(** Shrinking: candidate reductions of a failing test case.
+
+    A shrinker maps a value to a lazy sequence of strictly "smaller"
+    candidates, most aggressive first. The harness greedily walks to a
+    local minimum: it re-runs the property on each candidate and commits
+    to the first one that still fails, repeating until no candidate
+    fails (or the evaluation budget runs out). Properties must treat
+    cases that no longer meet their preconditions as vacuously passing,
+    so shrinking can never escape into meaningless territory. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+(** No candidates: the value is already minimal. *)
+val nothing : 'a t
+
+(** Towards zero, halving: [int 12] yields 0, 6, 9, 11. *)
+val int : int t
+
+(** Candidate reductions of a circuit, in order:
+    - drop aligned chunks of gates (sizes n/2, n/4, ..., 1 — classic
+      delta debugging, so a 100-gate failure collapses in ~log steps);
+    - simplify each rotation angle (0, then a short decimal);
+    - drop unused qubits ({!Ir.Circuit.compact}).
+    Every candidate is a valid circuit. *)
+val circuit : Ir.Circuit.t t
+
+(** [first_some shrinkers x] concatenates candidates from several
+    shrinkers. *)
+val append : 'a t -> 'a t -> 'a t
+
+(** Shrink one field of a record: [lift ~get ~set shrink x] applies
+    [shrink] to [get x] and re-embeds candidates with [set]. *)
+val lift : get:('a -> 'b) -> set:('a -> 'b -> 'a) -> 'b t -> 'a t

@@ -20,6 +20,10 @@ let traj_block = 25
 
 let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
     ?(sample_counts = false) ?(explicit_t1 = false) ?pool compiled spec =
+  (* Zero trajectories would silently divide the averaged distribution by
+     zero and return all-NaN outcomes; zero trials the same for counts. *)
+  if trials < 1 then invalid_arg "Runner.run: trials must be >= 1";
+  if trajectories < 1 then invalid_arg "Runner.run: trajectories must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let hardware = compiled.Compiled.hardware in
   let machine = compiled.Compiled.machine in

@@ -47,7 +47,9 @@ type outcome = {
     selects the domain pool trajectories fan out across (default: the
     process-wide {!Parallel.Pool.default} — pass a [jobs:1] pool to force
     sequential execution; the result is identical either way). Defaults:
-    [seed 0xC0FFEE], [trials 8192], [trajectories 300]. *)
+    [seed 0xC0FFEE], [trials 8192], [trajectories 300]. Raises
+    [Invalid_argument] if [trials] or [trajectories] is below 1 (zero
+    trajectories would yield all-NaN outcomes). *)
 val run :
   ?seed:int ->
   ?trials:int ->

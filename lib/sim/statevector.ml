@@ -109,6 +109,27 @@ let run (c : Ir.Circuit.t) =
     c.Ir.Circuit.gates;
   t
 
+let cdf_index cumulative target =
+  let dim = Array.length cumulative in
+  if dim = 0 then invalid_arg "Statevector.cdf_index: empty table";
+  (* Smallest index whose cumulative mass strictly exceeds [target]. The
+     comparison must be strict: with [>=], a draw of exactly 0.0 — or one
+     landing exactly on a cumulative edge — selects the bucket *ending* at
+     that edge, which can be a zero-probability outcome. *)
+  let lo = ref 0 and hi = ref (dim - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  (* If rounding pushed [target] to (or past) the final cumulative value,
+     the search falls through to the last bucket even when it carries no
+     mass; walk back to the last bucket with positive mass. *)
+  let i = ref !lo in
+  while !i > 0 && cumulative.(!i) <= cumulative.(!i - 1) do
+    decr i
+  done;
+  !i
+
 let sampler t =
   (* One O(2^n) pass builds the cumulative table (subsuming the norm2
      scan); every draw is then an O(n) binary search. *)
@@ -122,12 +143,7 @@ let sampler t =
   let total = !acc in
   fun rng ->
     let target = Mathkit.Rng.float rng *. total in
-    let lo = ref 0 and hi = ref (dim - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if cumulative.(mid) >= target then hi := mid else lo := mid + 1
-    done;
-    !lo
+    cdf_index cumulative target
 
 let sample t rng = sampler t rng
 

@@ -49,6 +49,16 @@ val run : Ir.Circuit.t -> t
     many samples from the same state, build the sampler once instead. *)
 val sample : t -> Mathkit.Rng.t -> int
 
+(** [cdf_index cumulative target] is the index of the bucket a draw of
+    [target] selects in a non-decreasing cumulative-mass table: the
+    smallest [i] with [cumulative.(i) > target], walked back over
+    trailing zero-mass buckets when [target] reaches the table's final
+    value (rounding can make the draw equal the total). Never selects a
+    zero-probability bucket of a well-formed table. Exposed so the
+    boundary cases can be tested directly; {!sampler} is the intended
+    entry point. *)
+val cdf_index : float array -> float -> int
+
 (** [sampler t] precomputes the cumulative probability table once
     (a single O(2^n) pass) and returns a draw function costing O(n) per
     sample — the right tool for repeated sampling from one state. The

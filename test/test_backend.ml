@@ -156,6 +156,94 @@ let test_ti_parse_errors () =
   Alcotest.(check bool) "empty" true (raises "; nothing\n");
   Alcotest.(check bool) "junk" true (raises "WOBBLE 0\n")
 
+(* ---------- Whitespace dialects & numeric formats ---------- *)
+
+(* Table-driven: each row is (label, source text, expected gates). The
+   sources exercise CRLF line endings, trailing whitespace, tab
+   separators, and scientific-notation angles — all of which real vendor
+   toolchains produce. *)
+
+let check_gates label expected (actual : Circuit.t) =
+  Alcotest.(check int)
+    (label ^ ": gate count") (List.length expected)
+    (List.length actual.Circuit.gates);
+  List.iteri
+    (fun i (e, a) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: gate %d (%s vs %s)" label i (G.to_string e)
+           (G.to_string a))
+        true (G.equal e a))
+    (List.combine expected actual.Circuit.gates)
+
+let test_qasm_whitespace_dialects () =
+  let table =
+    [
+      ( "crlf",
+        "OPENQASM 2.0;\r\nqreg q[2];\r\ncx q[0],q[1];\r\n",
+        [ G.Two (G.Cnot, 0, 1) ] );
+      ( "trailing blanks",
+        "OPENQASM 2.0;\nqreg q[2];  \nu1(0.5) q[1];   \n",
+        [ G.One (G.U1 0.5, 1) ] );
+      ( "tab separators",
+        "OPENQASM 2.0;\nqreg\tq[2];\ncx\tq[0],q[1];\nmeasure\tq[0]\t->\tc[0];\n",
+        [ G.Two (G.Cnot, 0, 1); G.Measure 0 ] );
+      ( "scientific notation",
+        "OPENQASM 2.0;\nqreg q[1];\nu1(1e-3) q[0];\nu2(2.5e-2,-1E-4) q[0];\n",
+        [ G.One (G.U1 1e-3, 0); G.One (G.U2 (2.5e-2, -1e-4), 0) ] );
+      ( "all at once",
+        "OPENQASM 2.0;\r\nqreg\tq[2]; \t\r\nu3(1e-9,0.5,-2.5E-3)\tq[1];  \r\n",
+        [ G.One (G.U3 (1e-9, 0.5, -2.5e-3), 1) ] );
+    ]
+  in
+  List.iter
+    (fun (label, src, expected) ->
+      check_gates label expected (Backend.Qasm_parse.parse src).Backend.Qasm_parse.circuit)
+    table
+
+let test_quil_whitespace_dialects () =
+  let table =
+    [
+      ("crlf", "CZ 0 1\r\nRZ(0.5) 0\r\n", [ G.Two (G.Cz, 0, 1); G.One (G.Rz 0.5, 0) ]);
+      ("trailing blanks", "RX(1.5) 1   \nCZ 0 1  \n", [ G.One (G.Rx 1.5, 1); G.Two (G.Cz, 0, 1) ]);
+      ( "tab separators",
+        "DECLARE ro BIT[1]\nCZ\t0\t1\nMEASURE\t0\tro[0]\n",
+        [ G.Two (G.Cz, 0, 1); G.Measure 0 ] );
+      ( "scientific notation",
+        "RZ(1e-3) 0\nRX(-2.5E-2) 1\n",
+        [ G.One (G.Rz 1e-3, 0); G.One (G.Rx (-2.5e-2), 1) ] );
+      ( "all at once",
+        "RZ(1E-9)\t0 \t\r\nISWAP\t0\t1  \r\n",
+        [ G.One (G.Rz 1e-9, 0); G.Two (G.Iswap, 0, 1) ] );
+    ]
+  in
+  List.iter
+    (fun (label, src, expected) ->
+      check_gates label expected (Backend.Quil_parse.parse src).Backend.Quil_parse.circuit)
+    table
+
+let test_ti_whitespace_dialects () =
+  let table =
+    [
+      ( "crlf",
+        "R 0 0.5 0.25\r\nXX 0 1 0.785\r\n",
+        [ G.One (G.Rxy (0.5, 0.25), 0); G.Two (G.Xx 0.785, 0, 1) ] );
+      ("trailing blanks", "RZ 1 0.5   \nMEAS 1  \n", [ G.One (G.Rz 0.5, 1); G.Measure 1 ]);
+      ( "tab separators",
+        "R\t0\t0.5\t0.25\nMEAS\t0\n",
+        [ G.One (G.Rxy (0.5, 0.25), 0); G.Measure 0 ] );
+      ( "scientific notation",
+        "RZ 0 1e-3\nXX 0 1 -7.85E-1\n",
+        [ G.One (G.Rz 1e-3, 0); G.Two (G.Xx (-0.785), 0, 1) ] );
+      ( "all at once",
+        "R\t1\t1E-9\t-2.5e-3 \t\r\nMEAS\t1 \r\n",
+        [ G.One (G.Rxy (1e-9, -2.5e-3), 1); G.Measure 1 ] );
+    ]
+  in
+  List.iter
+    (fun (label, src, expected) ->
+      check_gates label expected (Backend.Ti_parse.parse src).Backend.Ti_parse.circuit)
+    table
+
 (* ---------- Dispatch ---------- *)
 
 let test_emit_dispatch () =
@@ -199,6 +287,15 @@ let () =
           Alcotest.test_case "wrong vendor rejected" `Quick test_ti_rejects_wrong_vendor;
           Alcotest.test_case "roundtrip" `Quick test_ti_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_ti_parse_errors;
+        ] );
+      ( "dialects",
+        [
+          Alcotest.test_case "qasm whitespace/sci-notation" `Quick
+            test_qasm_whitespace_dialects;
+          Alcotest.test_case "quil whitespace/sci-notation" `Quick
+            test_quil_whitespace_dialects;
+          Alcotest.test_case "ti whitespace/sci-notation" `Quick
+            test_ti_whitespace_dialects;
         ] );
       ("dispatch", [ Alcotest.test_case "all machines" `Quick test_emit_dispatch ]);
     ]

@@ -262,8 +262,15 @@ let test_stats_stddev () =
 
 let test_stats_geomean_ratio () =
   check_float "2x everywhere" 2.0 (S.geomean_ratio [ (2.0, 1.0); (4.0, 2.0) ]);
-  Alcotest.(check bool) "all dropped -> nan" true
-    (Float.is_nan (S.geomean_ratio [ (1.0, 0.0) ]))
+  Alcotest.check_raises "all dropped -> raises"
+    (Invalid_argument "Stats.geomean_ratio: no pairs with a non-zero denominator")
+    (fun () -> ignore (S.geomean_ratio [ (1.0, 0.0) ]));
+  Alcotest.(check (option (float 1e-12)))
+    "opt: all dropped -> None" None
+    (S.geomean_ratio_opt [ (1.0, 0.0) ]);
+  Alcotest.(check (option (float 1e-12)))
+    "opt: zero denominators skipped" (Some 2.0)
+    (S.geomean_ratio_opt [ (2.0, 1.0); (1.0, 0.0) ])
 
 let test_stats_percentile () =
   let l = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in

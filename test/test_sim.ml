@@ -102,6 +102,51 @@ let test_sv_rejects_measure () =
   Alcotest.(check bool) "raises" true
     (try Sv.apply_gate s (G.Measure 0); false with Invalid_argument _ -> true)
 
+(* Adversarial CDF boundary cases: a draw must never select a bucket with
+   zero probability, no matter where it lands in the cumulative table. *)
+let test_sv_cdf_boundaries () =
+  (* |1>: the zero-mass bucket 0 ends exactly at cumulative 0.0, so a
+     draw of 0.0 sits on the edge. *)
+  let table = [| 0.0; 1.0 |] in
+  Alcotest.(check int) "target 0.0 skips zero-mass prefix" 1
+    (Sv.cdf_index table 0.0);
+  Alcotest.(check int) "interior draw" 1 (Sv.cdf_index table 0.5);
+  (* Interior edge: draw lands exactly on a cumulative boundary followed
+     by a zero-mass bucket. *)
+  let table = [| 0.5; 0.5; 1.0 |] in
+  Alcotest.(check int) "edge draw skips zero-mass bucket" 2
+    (Sv.cdf_index table 0.5);
+  Alcotest.(check int) "just below edge" 0 (Sv.cdf_index table 0.49);
+  (* Rounding can make the scaled draw equal (or exceed) the table's
+     total; trailing zero-mass buckets must be walked back over. *)
+  let table = [| 0.25; 1.0; 1.0; 1.0 |] in
+  Alcotest.(check int) "target = total lands on last massive bucket" 1
+    (Sv.cdf_index table 1.0);
+  Alcotest.(check int) "target past total" 1 (Sv.cdf_index table 1.1);
+  (* Total < 1 from float rounding: a draw in the lost tail must still
+     map to the last bucket that carries mass. *)
+  let table = [| 0.3; 0.999999999 |] in
+  Alcotest.(check int) "short table, tail draw" 1
+    (Sv.cdf_index table 0.9999999995)
+
+let test_sv_sampler_never_impossible () =
+  (* End-to-end: state |1> has probability 0 of reading 0; the old [>=]
+     lookup returned outcome 0 whenever the RNG drew exactly 0.0. *)
+  let s = Sv.run (circuit 1 [ G.One (G.X, 0) ]) in
+  let draw = Sv.sampler s in
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check int) "only |1> possible" 1 (draw rng)
+  done;
+  (* Bell-pair marginal: outcomes 01 and 10 carry no mass. *)
+  let s = Sv.run (circuit 2 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 1) ]) in
+  let draw = Sv.sampler s in
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let o = draw rng in
+    if o = 1 || o = 2 then Alcotest.failf "impossible outcome %d sampled" o
+  done
+
 (* ---------- Noise ---------- *)
 
 let noise_for machine = Noise.create machine (Device.Machine.calibration machine ~day:0)
@@ -153,6 +198,19 @@ let bell_program =
   Circuit.measure_all (circuit 2 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 1) ]) [ 0; 1 ]
 
 let bell_spec = Ir.Spec.distribution [ 0; 1 ] [ ("00", 0.5); ("11", 0.5) ]
+
+let test_runner_rejects_degenerate_params () =
+  let compiled =
+    Pipeline.to_compiled
+      (Pipeline.compile Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN)
+  in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  (* trajectories=0 used to divide the averaged distribution by zero and
+     return all-NaN outcomes. *)
+  Alcotest.(check bool) "trajectories=0 rejected" true
+    (raises (fun () -> Runner.run ~trajectories:0 compiled bell_spec));
+  Alcotest.(check bool) "trials=0 rejected" true
+    (raises (fun () -> Runner.run ~trials:0 compiled bell_spec))
 
 let test_runner_bell_on_umd () =
   let compiled = Pipeline.compile Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
@@ -363,6 +421,9 @@ let () =
           Alcotest.test_case "norm preserved" `Quick test_sv_norm_preserved;
           Alcotest.test_case "sampling" `Quick test_sv_sample_distribution;
           Alcotest.test_case "rejects measure" `Quick test_sv_rejects_measure;
+          Alcotest.test_case "cdf boundaries" `Quick test_sv_cdf_boundaries;
+          Alcotest.test_case "no impossible outcomes" `Quick
+            test_sv_sampler_never_impossible;
         ] );
       ( "noise",
         [
@@ -382,6 +443,8 @@ let () =
       ("properties", qcheck_cases);
       ( "runner",
         [
+          Alcotest.test_case "rejects degenerate params" `Quick
+            test_runner_rejects_degenerate_params;
           Alcotest.test_case "bell on umd" `Quick test_runner_bell_on_umd;
           Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
           Alcotest.test_case "noise hurts" `Quick test_runner_noise_hurts;
