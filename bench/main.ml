@@ -10,8 +10,10 @@
      main.exe [-j N] timings only the timing suite; also writes
                              BENCH_timings.json (per-stage ns/run, per-pass
                              compile breakdown, sequential vs parallel,
-                             cache effect)
-     main.exe smoke          fast determinism + cache smoke test (runtest)
+                             cache effect, plus reliability-cache counters
+                             and domain-pool histograms from Obs.Metrics)
+     main.exe smoke          fast determinism + cache smoke test, plus an
+                             enriched-timings-schema gate (runtest)
 
    -j N sizes the domain pool (default: Domain.recommended_domain_count);
    results are bit-for-bit identical for every N. *)
@@ -142,7 +144,7 @@ let wall f =
 (* Sequential-vs-parallel wall clock on a fig9-style trajectory workload:
    one compiled executable, 300 Monte-Carlo trajectories. The outcomes
    must be identical — the pool only changes where trajectories run. *)
-let seq_vs_par () =
+let seq_vs_par ?(trajectories = 300) () =
   let p = Bench_kit.Programs.bv 6 in
   let compiled =
     Triq.Pipeline.to_compiled
@@ -151,8 +153,10 @@ let seq_vs_par () =
          (Triq.Pass.Schedule.of_level Triq.Pipeline.OneQOptCN))
   in
   let spec = p.Bench_kit.Programs.spec in
-  let run pool = Sim.Runner.run ~trajectories:300 ~pool compiled spec in
-  let jobs = Parallel.Pool.default_jobs () in
+  let run pool = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories ~pool ()) compiled spec in
+  (* At least two domains for the parallel leg, so the comparison stays
+     meaningful on single-core CI containers. *)
+  let jobs = max 2 (Parallel.Pool.default_jobs ()) in
   Parallel.Pool.with_pool ~jobs:1 (fun seq_pool ->
       Parallel.Pool.with_pool ~jobs (fun par_pool ->
           ignore (run seq_pool);
@@ -165,10 +169,9 @@ let seq_vs_par () =
 
 (* Reliability-matrix cache: per-call cost cached vs uncached, plus the
    hit rate over a real sweep (fig10's compile grid). *)
-let cache_effect () =
+let cache_effect ?(reps = 50) () =
   let machine = Device.Machines.ibmq16 in
   let calibration = Device.Machine.calibration machine ~day:0 in
-  let reps = 50 in
   let (), uncached_s =
     wall (fun () ->
         for _ = 1 to reps do
@@ -216,57 +219,106 @@ let per_pass_breakdown ?(reps = 20) () =
     (fun name -> (name, Hashtbl.find totals name /. float_of_int reps))
     !order
 
-let json_escape s =
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | '"' -> "\\\""
-         | '\\' -> "\\\\"
-         | c when Char.code c < 32 -> Printf.sprintf "\\u%04x" (Char.code c)
-         | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+(* BENCH_timings.json is built on Obs.Json and enriched with the
+   observability registry: alongside the Bechamel stage timings and the
+   per-pass compile breakdown, it carries the reliability cache's
+   process-lifetime counters and the domain pool's queue-wait and busy
+   histograms (recorded because the timings/smoke drivers enable
+   Obs.Metrics before running their workloads). *)
 
-let write_timings_json path stages per_pass (seq_s, par_s, jobs)
+(* Single metric rendered the same way `triqc metrics --json` renders it
+   (counter -> int, gauge -> float, histogram -> {count,sum,buckets}). *)
+let metric_json name =
+  match List.assoc_opt name (Obs.Metrics.dump ()) with
+  | None -> Obs.Json.Null
+  | Some v -> (
+    match Obs.Export.metrics_json [ (name, v) ] with
+    | Obs.Json.Obj [ (_, j) ] -> j
+    | j -> j)
+
+let counter_json name =
+  match List.assoc_opt name (Obs.Metrics.dump ()) with
+  | Some (Obs.Metrics.Counter n) -> Obs.Json.Int n
+  | _ -> Obs.Json.Int 0
+
+let timings_payload stages per_pass (seq_s, par_s, jobs)
     (unc, cac, hits, misses) =
-  let oc = open_out path in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n";
-  out "  \"jobs\": %d,\n" jobs;
-  out "  \"stages\": [\n";
-  List.iteri
-    (fun i (name, ns) ->
-      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
-        (match ns with Some ns -> Printf.sprintf "%.0f" ns | None -> "null")
-        (if i = List.length stages - 1 then "" else ","))
-    stages;
-  out "  ],\n";
-  out
-    "  \"per_pass\": {\"workload\": \"bv6@IBMQ14 TriQ-1QOptCN\", \"passes\": [\n";
-  List.iteri
-    (fun i (name, s) ->
-      out "    {\"name\": \"%s\", \"ns_per_compile\": %.0f}%s\n" (json_escape name)
-        (s *. 1e9)
-        (if i = List.length per_pass - 1 then "" else ","))
-    per_pass;
-  out "  ]},\n";
-  out
-    "  \"trajectory_experiment\": {\"name\": \"fig9-style bv6@ibmq14 300 \
-     trajectories\", \"sequential_ns\": %.0f, \"parallel_ns\": %.0f, \
-     \"parallel_jobs\": %d, \"speedup\": %.3f},\n"
-    (seq_s *. 1e9) (par_s *. 1e9) jobs
-    (if par_s > 0.0 then seq_s /. par_s else Float.nan);
-  out
-    "  \"reliability_cache\": {\"uncached_ns_per_call\": %.0f, \
-     \"cached_ns_per_call\": %.0f, \"sweep\": \"fig10 compile grid\", \
-     \"sweep_hits\": %d, \"sweep_misses\": %d}\n"
-    (unc *. 1e9) (cac *. 1e9) hits misses;
-  out "}\n";
-  close_out oc
+  let open Obs.Json in
+  let ns s = Float (Float.round (s *. 1e9)) in
+  Obj
+    [
+      ("jobs", Int jobs);
+      ( "stages",
+        List
+          (List.map
+             (fun (name, est) ->
+               Obj
+                 [
+                   ("name", Str name);
+                   ( "ns_per_run",
+                     match est with
+                     | Some v -> Float (Float.round v)
+                     | None -> Null );
+                 ])
+             stages) );
+      ( "per_pass",
+        Obj
+          [
+            ("workload", Str "bv6@IBMQ14 TriQ-1QOptCN");
+            ( "passes",
+              List
+                (List.map
+                   (fun (name, s) ->
+                     Obj [ ("name", Str name); ("ns_per_compile", ns s) ])
+                   per_pass) );
+          ] );
+      ( "trajectory_experiment",
+        Obj
+          [
+            ("name", Str "fig9-style bv6@ibmq14 trajectory sweep");
+            ("sequential_ns", ns seq_s);
+            ("parallel_ns", ns par_s);
+            ("parallel_jobs", Int jobs);
+            ( "speedup",
+              if par_s > 0.0 then Float (seq_s /. par_s) else Null );
+          ] );
+      ( "reliability_cache",
+        Obj
+          [
+            ("uncached_ns_per_call", ns unc);
+            ("cached_ns_per_call", ns cac);
+            ("sweep", Str "fig10 compile grid");
+            ("sweep_hits", Int hits);
+            ("sweep_misses", Int misses);
+            ( "counters",
+              Obj
+                [
+                  ("hits", counter_json "triq.reliability.cache.hits");
+                  ("misses", counter_json "triq.reliability.cache.misses");
+                  ("evictions", counter_json "triq.reliability.cache.evictions");
+                ] );
+          ] );
+      ( "pool",
+        Obj
+          [
+            ("jobs", metric_json "parallel.pool.jobs");
+            ("tasks", metric_json "parallel.pool.tasks");
+            ("queue_wait_ns", metric_json "parallel.pool.queue_wait_ns");
+            ("busy_ns", metric_json "parallel.pool.busy_ns");
+          ] );
+    ]
+
+let write_timings_json path payload =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string ~pretty:true payload);
+      Out_channel.output_char oc '\n')
 
 let run_timings () =
   print_newline ();
   print_endline "== Bechamel timing suite (per-experiment harness cost) ==";
+  (* Switch on the gated metrics so the pool's queue-wait/busy histograms
+     record during seq_vs_par; counters are live regardless. *)
+  Obs.Metrics.enable ();
   let stages = collect_timings () in
   let per_pass = per_pass_breakdown () in
   print_endline "per-pass compile time (bv6@IBMQ14, TriQ-1QOptCN):";
@@ -283,7 +335,7 @@ let run_timings () =
   Printf.printf
     "reliability matrix: uncached %.0f ns/call, cached %.0f ns/call; fig10 sweep: %d hits, %d misses\n"
     (unc *. 1e9) (cac *. 1e9) hits misses;
-  write_timings_json "BENCH_timings.json" stages per_pass sp ce;
+  write_timings_json "BENCH_timings.json" (timings_payload stages per_pass sp ce);
   print_endline "wrote BENCH_timings.json"
 
 (* A CI-fast correctness gate (wired under `dune runtest`): the parallel
@@ -311,7 +363,43 @@ let run_smoke () =
   end;
   Printf.printf
     "smoke ok: fig9 grid (%d trajectories) identical at -j 1 and -j 4; reliability cache exact\n"
-    traj
+    traj;
+  (* Enriched-schema gate: build a quick timings payload (no Bechamel
+     suite), write it to a temp file, re-parse it with the independent
+     Device.Json reader, and assert the per-pass, cache and pool
+     sections are all present. *)
+  Obs.Metrics.enable ();
+  let per_pass = per_pass_breakdown ~reps:2 () in
+  let sp = seq_vs_par ~trajectories:20 () in
+  let ce = cache_effect ~reps:5 () in
+  let path = Filename.temp_file "bench_timings_smoke" ".json" in
+  write_timings_json path (timings_payload [] per_pass sp ce);
+  let doc =
+    Device.Json.parse (In_channel.with_open_text path In_channel.input_all)
+  in
+  Sys.remove path;
+  List.iter
+    (fun keys ->
+      try ignore (List.fold_left (fun j k -> Device.Json.member k j) doc keys)
+      with Invalid_argument msg ->
+        Printf.eprintf "SMOKE FAIL: BENCH_timings.json missing %s (%s)\n"
+          (String.concat "." keys) msg;
+        exit 1)
+    [
+      [ "stages" ];
+      [ "per_pass"; "passes" ];
+      [ "trajectory_experiment"; "speedup" ];
+      [ "reliability_cache"; "sweep_hits" ];
+      [ "reliability_cache"; "sweep_misses" ];
+      [ "reliability_cache"; "counters"; "hits" ];
+      [ "reliability_cache"; "counters"; "misses" ];
+      [ "pool"; "tasks" ];
+      [ "pool"; "queue_wait_ns"; "buckets" ];
+      [ "pool"; "busy_ns"; "count" ];
+    ];
+  print_endline
+    "smoke ok: enriched BENCH_timings.json schema (stages, per_pass, \
+     reliability_cache, pool)"
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -7,7 +7,14 @@
      passes    list the registered compiler passes and level schedules
      machines  list the supported machines
      info      describe one machine (topology + calibration snapshot)
-     bench     list the built-in benchmark programs *)
+     metrics   compile (and optionally simulate), then dump the Obs registry
+     bench     list the built-in benchmark programs
+
+   Observability: compile/simulate/sweep accept --trace FILE
+   [--trace-format chrome|jsonl|text] to record one span per compiler
+   pass (plus simulation blocks and pool activity) and write them out;
+   subcommands with --json all print the shared Obs.Output envelope
+   {"ok": bool, "command": ..., "data": ...} on one line. *)
 
 open Cmdliner
 
@@ -135,6 +142,50 @@ let file_arg =
   let doc = "Scaffold source file." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
+(* --trace FILE [--trace-format FMT]: record spans around the command's
+   work and write them out afterwards. Without --trace the span sink
+   stays disabled and the instrumented hot paths are no-ops, so traced
+   and untraced runs produce bit-identical command output. *)
+let trace_args =
+  let trace =
+    let doc =
+      "Record an execution trace (one span per compiler pass, plus \
+       simulation-block and pool spans when simulating) and write it to \
+       $(docv) on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let fmt =
+    let doc =
+      "Trace format: chrome (a trace_event JSON document for \
+       chrome://tracing or ui.perfetto.dev), jsonl (one JSON object per \
+       span per line), or text (indented tree)."
+    in
+    Arg.(value & opt string "chrome" & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+  in
+  Term.(const (fun file fmt -> (file, fmt)) $ trace $ fmt)
+
+let with_trace (trace, fmt_name) k =
+  match trace with
+  | None -> k ()
+  | Some path -> (
+    match Obs.Export.format_of_string fmt_name with
+    | None ->
+      Printf.eprintf "triqc: unknown trace format %S (valid: chrome, jsonl, text)\n"
+        fmt_name;
+      2
+    | Some fmt ->
+      Obs.Span.enable ();
+      let code = k () in
+      Obs.Span.disable ();
+      let rendered = Obs.Export.render fmt (Obs.Span.collected ()) in
+      (try
+         Out_channel.with_open_text path (fun oc -> output_string oc rendered);
+         code
+       with Sys_error msg ->
+         Printf.eprintf "triqc: cannot write trace: %s\n" msg;
+         if code = 0 then 1 else code))
+
 let print_stats (r : Triq.Pipeline.t) =
   Printf.eprintf
     "; %s on %s (day %d): 2Q=%d, pulses=%d, swaps=%d, ESP=%.4f, compile=%.3fs\n"
@@ -190,7 +241,8 @@ let compile_cmd =
     Arg.(value & opt_all string [] & info [ "disable-pass" ] ~docv:"NAME" ~doc)
   in
   let run file machine_name level_name day router_name peephole validate passes
-      disabled =
+      disabled trace =
+    with_trace trace @@ fun () ->
     let ( let* ) = Result.bind in
     let result =
       let* machine, level, program = compile_common file machine_name level_name in
@@ -215,7 +267,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const run $ file_arg $ machine_arg $ level_arg $ day_arg $ router_arg
-      $ peephole_arg $ validate_arg $ passes_arg $ disable_arg)
+      $ peephole_arg $ validate_arg $ passes_arg $ disable_arg $ trace_args)
 
 let passes_cmd =
   let run () =
@@ -244,7 +296,8 @@ let simulate_cmd =
       value & opt int 300
       & info [ "trajectories" ] ~docv:"N" ~doc:"Monte-Carlo noise trajectories.")
   in
-  let run () file machine_name level_name day trials trajectories =
+  let run () file machine_name level_name day trials trajectories trace =
+    with_trace trace @@ fun () ->
     match compile_common file machine_name level_name with
     | Error msg ->
       Printf.eprintf "triqc: %s\n" msg;
@@ -271,7 +324,7 @@ let simulate_cmd =
           | dist -> Ir.Spec.distribution measured dist
         in
         let outcome =
-          Sim.Runner.run ~trials ~trajectories (Triq.Pipeline.to_compiled compiled) spec
+          Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trials ~trajectories ()) (Triq.Pipeline.to_compiled compiled) spec
         in
         Printf.printf "success rate: %.4f (%s)\n" outcome.Sim.Runner.success_rate
           (if outcome.Sim.Runner.dominant_correct then "correct answer dominates"
@@ -289,10 +342,11 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ jobs_arg $ file_arg $ machine_arg $ level_arg $ day_arg
-      $ trials_arg $ trajectories_arg)
+      $ trials_arg $ trajectories_arg $ trace_args)
 
 let sweep_cmd =
-  let run () file machine_name day =
+  let run () file machine_name day trace =
+    with_trace trace @@ fun () ->
     let ( let* ) = Result.bind in
     let result =
       let* machine = find_machine machine_name in
@@ -332,7 +386,7 @@ let sweep_cmd =
               | None -> "n/a"
               | Some spec ->
                 Printf.sprintf "%.3f"
-                  (Sim.Runner.run (Triq.Pipeline.to_compiled compiled) spec)
+                  (Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled) spec)
                     .Sim.Runner.success_rate
             in
             Printf.printf "%-14s %6d %8d %6d %8.4f %10s\n"
@@ -346,7 +400,7 @@ let sweep_cmd =
   let doc = "Compare all four optimization levels on one program (Table 1 sweep)." in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(const run $ jobs_arg $ file_arg $ machine_arg $ day_arg)
+    Term.(const run $ jobs_arg $ file_arg $ machine_arg $ day_arg $ trace_args)
 
 let draw_cmd =
   let compiled_arg =
@@ -592,7 +646,10 @@ let lint_cmd =
   let json_arg =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Emit one JSON object per diagnostic instead of text.")
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON envelope {ok, command, data} with all diagnostics \
+             instead of text.")
   in
   let run file machine_spec level_name day all_levels json =
     let ( let* ) = Result.bind in
@@ -645,15 +702,26 @@ let lint_cmd =
       Printf.eprintf "triqc: %s\n" msg;
       2
     | Ok diags ->
-      List.iter
-        (fun d ->
-          print_endline
-            (if json then Analysis.Diag.to_json d else Analysis.Diag.render d))
-        diags;
       let errors = Analysis.Diag.error_count diags in
-      if not json then
-        Printf.eprintf "triqc lint: %d error(s), %d warning(s)\n" errors
-          (List.length diags - errors);
+      let warnings = List.length diags - errors in
+      if json then
+        (* [ok] is the domain outcome (no error-severity findings); the
+           exit code stays the authoritative pass/fail signal. *)
+        Obs.Output.print ~ok:(errors = 0) ~command:"lint"
+          (Obs.Json.Obj
+             [
+               ( "diagnostics",
+                 Obs.Json.List
+                   (List.map
+                      (fun d -> Obs.Json.Raw (Analysis.Diag.to_json d))
+                      diags) );
+               ("errors", Obs.Json.Int errors);
+               ("warnings", Obs.Json.Int warnings);
+             ])
+      else begin
+        List.iter (fun d -> print_endline (Analysis.Diag.render d)) diags;
+        Printf.eprintf "triqc lint: %d error(s), %d warning(s)\n" errors warnings
+      end;
       if errors > 0 then 1 else 0
   in
   let doc =
@@ -666,6 +734,85 @@ let lint_cmd =
     Term.(
       const run $ file_arg $ machine_opt $ level_arg $ day_arg $ all_levels_arg
       $ json_arg)
+
+let metrics_cmd =
+  let simulate_arg =
+    Arg.(
+      value & flag
+      & info [ "simulate" ]
+          ~doc:
+            "Also execute the compiled program on the noisy device model, so \
+             the simulator and pool metrics accumulate too.")
+  in
+  let trajectories_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "trajectories" ] ~docv:"N"
+          ~doc:"Monte-Carlo noise trajectories (with --simulate).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the registry as a single JSON envelope instead of text.")
+  in
+  let run () file machine_name level_name day do_simulate trajectories json =
+    Obs.Metrics.enable ();
+    match compile_common file machine_name level_name with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      2
+    | Ok (machine, level, program) ->
+      let compiled =
+        compile_at ~config:(Triq.Pass.Config.make ~day ()) machine level
+          program.Scaffold.Lower.circuit
+      in
+      let simulated =
+        if not do_simulate then Ok ()
+        else if program.Scaffold.Lower.measured = [] then
+          Error "program has no measure statements to simulate"
+        else begin
+          let measured = program.Scaffold.Lower.measured in
+          let spec =
+            match
+              Sim.Runner.ideal_distribution
+                (Ir.Circuit.body program.Scaffold.Lower.circuit)
+                ~measured
+            with
+            | (bits, p) :: _ when p > 0.99 -> Ir.Spec.deterministic measured bits
+            | dist -> Ir.Spec.distribution measured dist
+          in
+          ignore
+            (Sim.Runner.simulate
+               ~config:(Sim.Runner.Config.make ~trajectories ())
+               (Triq.Pipeline.to_compiled compiled)
+               spec);
+          Ok ()
+        end
+      in
+      (match simulated with
+      | Error msg ->
+        Printf.eprintf "triqc: %s\n" msg;
+        2
+      | Ok () ->
+        let dump = Obs.Metrics.dump () in
+        if json then
+          Obs.Output.print ~ok:true ~command:"metrics"
+            (Obs.Export.metrics_json dump)
+        else print_string (Obs.Export.metrics_text dump);
+        0)
+  in
+  let doc =
+    "Compile a program (and with --simulate, execute it) with the metrics \
+     registry enabled, then dump every counter, gauge, and histogram: pass \
+     runs, reliability-cache hits/misses, pool queue-wait and busy times, \
+     simulated trajectory volume."
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ jobs_arg $ file_arg $ machine_arg $ level_arg $ day_arg
+      $ simulate_arg $ trajectories_arg $ json_arg)
 
 let bench_cmd =
   let run_arg =
@@ -704,7 +851,7 @@ let bench_cmd =
                   Triq.Pipeline.OneQOptCN p.Bench_kit.Programs.circuit
               in
               let outcome =
-                Sim.Runner.run
+                Sim.Runner.simulate
                   (Triq.Pipeline.to_compiled compiled)
                   p.Bench_kit.Programs.spec
               in
@@ -737,7 +884,10 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
   let json_arg =
-    let doc = "Emit one JSON object per oracle instead of the text report." in
+    let doc =
+      "Emit one JSON envelope {ok, command, data} with all oracle reports \
+       instead of text."
+    in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run () seed cases oracle json =
@@ -759,14 +909,20 @@ let fuzz_cmd =
         Printf.eprintf "triqc: %s\n" msg;
         2
       | Ok reports ->
-        let render =
-          if json then Proptest.Oracle.report_json
-          else Proptest.Oracle.report_text
-        in
-        List.iter (fun r -> print_endline (render r)) reports;
         let failed =
           List.exists (fun r -> r.Proptest.Oracle.failure <> None) reports
         in
+        if json then
+          Obs.Output.print ~ok:(not failed) ~command:"fuzz"
+            (Obs.Json.Obj
+               [
+                 ( "reports",
+                   Obs.Json.List
+                     (List.map
+                        (fun r -> Obs.Json.Raw (Proptest.Oracle.report_json r))
+                        reports) );
+               ])
+        else List.iter (fun r -> print_endline (Proptest.Oracle.report_text r)) reports;
         if failed then 1 else 0
     end
   in
@@ -785,7 +941,7 @@ let () =
   let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; bench_cmd; fuzz_cmd ]
+      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; metrics_cmd; bench_cmd; fuzz_cmd ]
   in
   (* Every subcommand compiles, so handle validator violations uniformly
      here rather than per command. *)

@@ -17,11 +17,11 @@ let () =
     (fun machine ->
       if Device.Machine.fits machine program.Bench_kit.Programs.circuit then begin
         let compiled =
-          Triq.Pipeline.compile machine program.Bench_kit.Programs.circuit
+          Triq.Pipeline.compile_level machine program.Bench_kit.Programs.circuit
             ~level:Triq.Pipeline.OneQOptCN
         in
         let as_compiled = Triq.Pipeline.to_compiled compiled in
-        let outcome = Sim.Runner.run as_compiled program.Bench_kit.Programs.spec in
+        let outcome = Sim.Runner.simulate as_compiled program.Bench_kit.Programs.spec in
         Printf.printf
           "%-8s %-12s  2Q=%2d  pulses=%3d  swaps=%d  ESP=%.3f  success=%.3f\n"
           machine.Device.Machine.name
@@ -39,7 +39,7 @@ let () =
   List.iter
     (fun machine ->
       let compiled =
-        Triq.Pipeline.compile machine program.Bench_kit.Programs.circuit
+        Triq.Pipeline.compile_level machine program.Bench_kit.Programs.circuit
           ~level:Triq.Pipeline.OneQOptCN
       in
       let as_compiled = Triq.Pipeline.to_compiled compiled in

@@ -57,11 +57,11 @@ let () =
     (fun (p : Bench_kit.Programs.t) ->
       if Device.Machine.fits machine p.Bench_kit.Programs.circuit then begin
         let compiled =
-          Triq.Pipeline.compile machine p.Bench_kit.Programs.circuit
+          Triq.Pipeline.compile_level machine p.Bench_kit.Programs.circuit
             ~level:Triq.Pipeline.OneQOptCN
         in
         let outcome =
-          Sim.Runner.run (Triq.Pipeline.to_compiled compiled)
+          Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled)
             p.Bench_kit.Programs.spec
         in
         Printf.printf "%-10s %6d %8.3f %8.3f\n" p.Bench_kit.Programs.name
@@ -77,11 +77,11 @@ let () =
       let variant = ladder ~name:(Printf.sprintf "Ladder10-s%d" seed) ~two_q_err:0.02 ~seed in
       let p = Bench_kit.Programs.bv 6 in
       let compiled =
-        Triq.Pipeline.compile variant p.Bench_kit.Programs.circuit
+        Triq.Pipeline.compile_level variant p.Bench_kit.Programs.circuit
           ~level:Triq.Pipeline.OneQOptCN
       in
       let outcome =
-        Sim.Runner.run (Triq.Pipeline.to_compiled compiled) p.Bench_kit.Programs.spec
+        Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled) p.Bench_kit.Programs.spec
       in
       Printf.printf "  seed %3d: success %.3f (ESP %.3f)\n" seed
         outcome.Sim.Runner.success_rate compiled.Triq.Pipeline.esp)

@@ -20,7 +20,7 @@ let () =
   List.iter
     (fun level ->
       let compiled =
-        Triq.Pipeline.compile machine p.Bench_kit.Programs.circuit ~level
+        Triq.Pipeline.compile_level machine p.Bench_kit.Programs.circuit ~level
       in
       let budget = Triq.Compiled.budget_of (Triq.Pipeline.to_compiled compiled) in
       Printf.printf "%-14s %8d %10.3f %10.3f %10.3f %10.3f\n"
@@ -33,11 +33,11 @@ let () =
   (* Decompose the best executable's losses and check against measured
      success. *)
   let compiled =
-    Triq.Pipeline.compile machine p.Bench_kit.Programs.circuit
+    Triq.Pipeline.compile_level machine p.Bench_kit.Programs.circuit
       ~level:Triq.Pipeline.OneQOptCN
   in
   let outcome =
-    Sim.Runner.run (Triq.Pipeline.to_compiled compiled) p.Bench_kit.Programs.spec
+    Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled) p.Bench_kit.Programs.spec
   in
   let budget = Triq.Compiled.budget_of (Triq.Pipeline.to_compiled compiled) in
   Printf.printf

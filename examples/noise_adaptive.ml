@@ -17,10 +17,11 @@ let () =
   for day = 0 to 4 do
     let success level =
       let compiled =
-        Triq.Pipeline.compile ~day machine program.Bench_kit.Programs.circuit ~level
+        Triq.Pipeline.compile_level ~config:(Triq.Pass.Config.make ~day ()) machine
+          program.Bench_kit.Programs.circuit ~level
       in
       let outcome =
-        Sim.Runner.run (Triq.Pipeline.to_compiled compiled)
+        Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled)
           program.Bench_kit.Programs.spec
       in
       outcome.Sim.Runner.success_rate
@@ -41,8 +42,8 @@ let () =
   Printf.printf "\nNoise-aware placements per day (program qubit -> hardware qubit):\n";
   for day = 0 to 4 do
     let compiled =
-      Triq.Pipeline.compile ~day machine program.Bench_kit.Programs.circuit
-        ~level:Triq.Pipeline.OneQOptCN
+      Triq.Pipeline.compile_level ~config:(Triq.Pass.Config.make ~day ()) machine
+        program.Bench_kit.Programs.circuit ~level:Triq.Pipeline.OneQOptCN
     in
     let pl = compiled.Triq.Pipeline.initial_placement in
     Printf.printf "  day %d: %s\n" day

@@ -14,7 +14,7 @@ let () =
     (fun machine ->
       let compiled =
         Triq.Pipeline.to_compiled
-          (Triq.Pipeline.compile machine program.Bench_kit.Programs.circuit
+          (Triq.Pipeline.compile_level machine program.Bench_kit.Programs.circuit
              ~level:Triq.Pipeline.OneQOptCN)
       in
       let schedule = Pulse.Lower.of_compiled compiled in
@@ -30,7 +30,7 @@ let () =
   print_endline "OpenPulse-style JSON for the IBM schedule:";
   let compiled =
     Triq.Pipeline.to_compiled
-      (Triq.Pipeline.compile Device.Machines.ibmq5
+      (Triq.Pipeline.compile_level Device.Machines.ibmq5
          program.Bench_kit.Programs.circuit ~level:Triq.Pipeline.OneQOptCN)
   in
   print_string (Pulse.Emit.openpulse_json (Pulse.Lower.of_compiled compiled))

@@ -27,7 +27,7 @@ let () =
      TriQ-1QOptCN: 1Q coalescing + communication + noise adaptivity). *)
   let machine = Device.Machines.ibmq5 in
   let compiled =
-    Triq.Pipeline.compile machine program.Scaffold.Lower.circuit
+    Triq.Pipeline.compile_level machine program.Scaffold.Lower.circuit
       ~level:Triq.Pipeline.OneQOptCN
   in
   Printf.printf "Compiled for %s: %d 2Q gates, %d pulses, %d swaps, ESP %.3f\n\n"
@@ -44,7 +44,7 @@ let () =
   (* 4. Execute on the noisy device model and score against the known
      answer (the hidden string). *)
   let spec = Ir.Spec.deterministic program.Scaffold.Lower.measured "111" in
-  let outcome = Sim.Runner.run (Triq.Pipeline.to_compiled compiled) spec in
+  let outcome = Sim.Runner.simulate (Triq.Pipeline.to_compiled compiled) spec in
   Printf.printf "Success rate on %s: %.3f (%d trials)\n"
     machine.Device.Machine.name outcome.Sim.Runner.success_rate
     outcome.Sim.Runner.trials;

@@ -17,7 +17,9 @@ let () =
       in
       let t0 = Sys.time () in
       let compiled =
-        Triq.Pipeline.compile ~node_budget:20_000 machine circuit
+        Triq.Pipeline.compile_level
+          ~config:(Triq.Pass.Config.make ~node_budget:20_000 ())
+          machine circuit
           ~level:Triq.Pipeline.OneQOptCN
       in
       Printf.printf "%-6s %-7d %-10d %-10d %-12d %-10.3f\n"

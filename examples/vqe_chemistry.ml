@@ -53,7 +53,7 @@ let expectations ?(mitigate = true) machine theta =
     let circuit = measurement_circuit theta basis in
     let compiled =
       Triq.Pipeline.to_compiled
-        (Triq.Pipeline.compile machine circuit ~level:Triq.Pipeline.OneQOptCN)
+        (Triq.Pipeline.compile_level machine circuit ~level:Triq.Pipeline.OneQOptCN)
     in
     (* A dummy deterministic spec is not available (superposition output);
        run against the ideal distribution of this measurement circuit. *)
@@ -61,7 +61,7 @@ let expectations ?(mitigate = true) machine theta =
       Ir.Spec.distribution [ 0; 1 ]
         (Sim.Runner.ideal_distribution (Ir.Circuit.body circuit) ~measured:[ 0; 1 ])
     in
-    let outcome = Sim.Runner.run ~trajectories:400 compiled spec in
+    let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:400 ()) compiled spec in
     if mitigate then begin
       let calibration =
         Device.Machine.calibration machine ~day:compiled.Triq.Compiled.day

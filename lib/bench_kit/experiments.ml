@@ -12,7 +12,7 @@ type 'a row = { bench : string; values : (string * 'a option) list }
 
 (* Grid rows (compile + simulate per benchmark/machine/level/day) are
    independent, so they fan out across the process-wide domain pool.
-   Each row's work is self-contained — Runner.run seeds its own RNG —
+   Each row's work is self-contained — Runner.simulate seeds its own RNG —
    so every grid below is bit-for-bit identical for any pool size; the
    [-j] flags of bench/main and triqc resize the pool via
    [Parallel.Pool.set_default_jobs]. *)
@@ -41,7 +41,7 @@ let try_success ?config ?day ?trajectories machine level p =
   Option.map
     (fun compiled ->
       let outcome =
-        Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled) p.Programs.spec
+        Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled) p.Programs.spec
       in
       outcome.Sim.Runner.success_rate)
     (try_compile ?config ?day machine level p)
@@ -343,7 +343,7 @@ let compile_with_baseline ?day machine which (p : Programs.t) =
 let baseline_success ?day ?trajectories machine which p =
   Option.map
     (fun compiled ->
-      (Sim.Runner.run ?trajectories compiled p.Programs.spec).Sim.Runner.success_rate)
+      (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) compiled p.Programs.spec).Sim.Runner.success_rate)
     (compile_with_baseline ?day machine which p)
 
 let fig11_counts () =
@@ -810,7 +810,7 @@ let ablation_routing_data ?trajectories () =
       else begin
         let full = try_success ?trajectories machine Pipeline.OneQOptCN p in
         let hybrid =
-          (Sim.Runner.run ?trajectories (hybrid_routing_compile machine p)
+          (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (hybrid_routing_compile machine p)
              p.Programs.spec).Sim.Runner.success_rate
         in
         Some
@@ -843,11 +843,11 @@ let staleness_data ?trajectories ?(days = 8) () =
   in
   pmap_range days (fun day ->
       let stale =
-        (Sim.Runner.run ?trajectories ~day stale_exe p.Programs.spec)
+        (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ~day ()) stale_exe p.Programs.spec)
           .Sim.Runner.success_rate
       in
       let fresh =
-        (Sim.Runner.run ?trajectories
+        (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ())
            (Pipeline.to_compiled
               (compile_level ~day machine Pipeline.OneQOptCN p.Programs.circuit))
            p.Programs.spec)
@@ -884,7 +884,7 @@ let esp_correlation_data ?trajectories () =
           Option.map
             (fun compiled ->
               let success =
-                (Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled)
+                (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled)
                    p.Programs.spec)
                   .Sim.Runner.success_rate
               in
@@ -921,7 +921,7 @@ let ablation_lookahead_data ?trajectories () =
             compile_level ~config machine Pipeline.OneQOptCN p.Programs.circuit
           in
           ( compiled.Pipeline.two_q_count,
-            (Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled)
+            (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled)
                p.Programs.spec)
               .Sim.Runner.success_rate )
         in
@@ -1096,7 +1096,7 @@ let parametric_data ?trajectories () =
                 compile_level machine Pipeline.OneQOptCN p.Programs.circuit
               in
               ( compiled.Pipeline.two_q_count,
-                (Sim.Runner.run ?trajectories (Pipeline.to_compiled compiled)
+                (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled)
                    p.Programs.spec)
                   .Sim.Runner.success_rate )
             in
@@ -1138,10 +1138,10 @@ let noise_model_data ?trajectories () =
             (compile_level machine Pipeline.OneQOptCN p.Programs.circuit)
         in
         let folded =
-          (Sim.Runner.run ?trajectories compiled p.Programs.spec).Sim.Runner.success_rate
+          (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) compiled p.Programs.spec).Sim.Runner.success_rate
         in
         let explicit =
-          (Sim.Runner.run ?trajectories ~explicit_t1:true compiled p.Programs.spec)
+          (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ~explicit_t1:true ()) compiled p.Programs.spec)
             .Sim.Runner.success_rate
         in
         Some (p.Programs.name, folded, explicit)
@@ -1181,7 +1181,7 @@ let ghz_fidelity ?trajectories machine n =
         Ir.Spec.distribution measured
           (Sim.Runner.ideal_distribution (Ir.Circuit.create n gates) ~measured)
       in
-      (Sim.Runner.run ?trajectories compiled spec).Sim.Runner.distribution
+      (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) compiled spec).Sim.Runner.distribution
     in
     (* Populations from the computational-basis run. *)
     let z_dist = run prep in

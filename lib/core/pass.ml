@@ -486,10 +486,17 @@ let guard pass diags =
   | [] -> ()
   | ds -> raise (Analysis.Diag.Violation (pass, List.sort_uniq Analysis.Diag.compare ds))
 
+(* Every pass runs inside an [Obs] span; the returned wall-clock dt is
+   the very same measurement the span records, so [pass_times_s] is a
+   derived view of the trace rather than a second clock. *)
 let run_pass state (p : t) =
-  let start = Sys.time () in
-  let state' = p.run state in
-  let dt = Sys.time () -. start in
+  let state', dt =
+    Obs.Span.timed
+      ~attrs:[ ("pass", Obs.Span.Str p.name) ]
+      ("pass." ^ p.name)
+      (fun () -> p.run state)
+  in
+  Obs.Metrics.incr (Obs.Metrics.counter ("triq.pass.runs." ^ p.name));
   if state.config.Config.validate then guard p.name (p.checks state');
   (state', dt)
 
@@ -510,7 +517,18 @@ type outcome = {
 }
 
 let run ~config machine circuit (schedule : Schedule.t) =
-  let state = init ~config machine circuit in
-  let t0 = Sys.time () in
-  let state, pass_times_s = run_passes state schedule.Schedule.passes in
-  { state; pass_times_s; compile_time_s = Sys.time () -. t0 }
+  Obs.Metrics.incr (Obs.Metrics.counter "triq.compile.count");
+  let (state, pass_times_s), compile_time_s =
+    Obs.Span.timed
+      ~attrs:
+        [
+          ("machine", Obs.Span.Str machine.Machine.name);
+          ("schedule", Obs.Span.Str schedule.Schedule.name);
+          ("day", Obs.Span.Int config.Config.day);
+        ]
+      "compile"
+      (fun () ->
+        let state = init ~config machine circuit in
+        run_passes state schedule.Schedule.passes)
+  in
+  { state; pass_times_s; compile_time_s }

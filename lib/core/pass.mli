@@ -225,8 +225,11 @@ end
 val init : config:Config.t -> Device.Machine.t -> Ir.Circuit.t -> state
 
 (** [run_pass state p] runs one pass, returning the new state and the
-    pass's wall-clock seconds. When [state.config.validate], [p.checks]
-    run over the output (outside the timed region) and a violation raises
+    pass's wall-clock seconds. The pass body executes inside an
+    [Obs.Span] named ["pass.<name>"], and the returned dt is that span's
+    own measurement — with tracing enabled, [pass_times_s] is a derived
+    view of the trace. When [state.config.validate], [p.checks] run over
+    the output (outside the timed region) and a violation raises
     {!Analysis.Diag.Violation}[ (p.name, diags)]. *)
 val run_pass : state -> t -> state * float
 
@@ -240,6 +243,9 @@ type outcome = {
   compile_time_s : float;  (** total wall clock including the driver *)
 }
 
-(** [run ~config machine circuit schedule] = {!init} + {!run_passes} with
-    total timing. *)
+(** [run ~config machine circuit schedule] = {!init} + {!run_passes},
+    wrapped in an [Obs.Span] named ["compile"] (attributes: machine,
+    schedule, day) whose duration is [compile_time_s]. Per-pass and
+    total times come from the same wall clock, so
+    [sum pass_times_s <= compile_time_s] up to rounding. *)
 val run : config:Config.t -> Device.Machine.t -> Ir.Circuit.t -> Schedule.t -> outcome

@@ -57,6 +57,9 @@ let compile_schedule ?(config = Pass.Config.default) machine circuit
   of_outcome ~level:schedule.Pass.Schedule.level
     (Pass.run ~config machine circuit schedule)
 
+let compile_level ?(config = Pass.Config.default) machine circuit ~level =
+  compile_schedule ~config machine circuit (Pass.Schedule.of_level ~config level)
+
 let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
     ?(validate = false) machine circuit ~level =
   let router =
@@ -65,7 +68,7 @@ let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
     | `Lookahead -> Pass.Config.Lookahead
   in
   let config = { Pass.Config.day; node_budget; router; peephole; validate } in
-  compile_schedule ~config machine circuit (Pass.Schedule.of_level ~config level)
+  compile_level ~config machine circuit ~level
 
 let to_compiled t =
   {

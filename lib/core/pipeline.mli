@@ -14,8 +14,10 @@
     directed machines, and emit only software-visible gates.
 
     The toolflow itself is implemented as first-class passes in {!Pass};
-    this module is the stable entry point: {!compile} runs a level's
-    named schedule, {!compile_schedule} runs any {!Pass.Schedule.t}. *)
+    this module is the stable entry point: {!compile_level} runs a
+    level's named schedule under a {!Pass.Config.t},
+    {!compile_schedule} runs any {!Pass.Schedule.t}. The optional-arg
+    {!compile} wrapper is deprecated in favour of these two. *)
 
 type level = Pass.level = N | OneQOpt | OneQOptC | OneQOptCN
 
@@ -52,27 +54,24 @@ type t = {
           schedule order (Section 6.5's compile-time attribution) *)
 }
 
-(** [compile ?day ?node_budget machine circuit ~level] runs the level's
+(** [compile_level ?config machine circuit ~level] runs the level's
     named schedule on a program circuit (which may contain
-    Toffoli/Fredkin etc.; it is flattened first). This is a compatibility
-    wrapper over {!compile_schedule}: the optional arguments populate a
-    {!Pass.Config.t} and [level] selects {!Pass.Schedule.of_level}.
-
-    [peephole] (default false, not part of the paper's pipeline)
-    additionally cancels adjacent self-inverse 2Q pairs after routing;
-    [router] selects SWAP insertion: the paper's per-gate
-    reliability-optimal router or the {!Router_lookahead} extension. Both
-    extras are measured by ablation experiments.
-
-    [validate] (default false) arms the pass-invariant harness: after
-    every pass the applicable static rules from {!Analysis.Check} run
-    over that pass's output, and a violation raises
-    {!Analysis.Diag.Violation} naming the pass that introduced it. A
-    validated compile costs one extra linear scan per pass — no
-    simulation.
+    Toffoli/Fredkin etc.; it is flattened first) under [config] (default
+    {!Pass.Config.default}): [level] selects {!Pass.Schedule.of_level}
+    and the config's [day]/[node_budget]/[router]/[peephole]/[validate]
+    knobs apply exactly as documented on {!Pass.Config.t}.
 
     Raises [Invalid_argument] if the program has more qubits than the
     machine. *)
+val compile_level :
+  ?config:Pass.Config.t -> Device.Machine.t -> Ir.Circuit.t -> level:level -> t
+
+(** Deprecated optional-argument spelling of {!compile_level}: each
+    optional argument populates the corresponding {!Pass.Config.t}
+    field ([router] maps [`Default]/[`Lookahead] onto
+    {!Pass.Config.router}). Behaviour is identical; new code should
+    build a [Config.t] (one value to thread through helpers and record
+    in reports) instead of growing optional-argument lists. *)
 val compile :
   ?day:int ->
   ?node_budget:int ->
@@ -83,6 +82,7 @@ val compile :
   Ir.Circuit.t ->
   level:level ->
   t
+[@@deprecated "use Pipeline.compile_level ~config (or Pass.Schedule + compile_schedule)"]
 
 (** [compile_schedule ?config machine circuit schedule] runs an arbitrary
     pass schedule (e.g. one edited with {!Pass.Schedule.disable} or built

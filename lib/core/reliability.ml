@@ -175,6 +175,14 @@ let cache_mutex = Mutex.create ()
 let hits = ref 0
 let misses = ref 0
 
+(* The [hits]/[misses] refs reset with [cache_clear] (they describe the
+   current cache generation, which sweeps compare across -j levels); the
+   Obs counters are cumulative over the process, for traces and the
+   bench timings report. *)
+let obs_hits = Obs.Metrics.counter "triq.reliability.cache.hits"
+let obs_misses = Obs.Metrics.counter "triq.reliability.cache.misses"
+let obs_evictions = Obs.Metrics.counter "triq.reliability.cache.evictions"
+
 (* Machine names are not globally unique (users build machines by hand in
    tests and examples), so a hit must also verify the cached machine
    really is the one being asked about. *)
@@ -220,9 +228,11 @@ let compute_cached ~noise_aware ?calibration machine ~day =
         match Hashtbl.find_opt cache key with
         | Some (m, r) when same_machine m machine ->
           incr hits;
+          Obs.Metrics.incr obs_hits;
           Some r
         | _ ->
           incr misses;
+          Obs.Metrics.incr obs_misses;
           None)
   in
   match cached with
@@ -239,6 +249,7 @@ let compute_cached ~noise_aware ?calibration machine ~day =
 
 let cache_clear () =
   Mutex.protect cache_mutex (fun () ->
+      Obs.Metrics.incr obs_evictions ~by:(Hashtbl.length cache);
       Hashtbl.reset cache;
       hits := 0;
       misses := 0)

@@ -1,0 +1,8 @@
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3

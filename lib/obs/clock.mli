@@ -1,0 +1,22 @@
+(** The observability clock: wall-clock nanoseconds from a single source
+    shared by spans, the pass driver, and the pool instrumentation, so
+    durations from different layers are directly comparable.
+
+    OCaml's portable stdlib has no monotonic clock, so this wraps
+    [Unix.gettimeofday] (the only extra dependency the library carries).
+    Resolution is a microsecond and the clock can in principle step
+    backwards under NTP adjustment; {!elapsed_ns} clamps at zero so a
+    step never produces a negative duration. *)
+
+(** Current time in integer nanoseconds since the Unix epoch. *)
+val now_ns : unit -> int64
+
+(** [elapsed_ns ~since] is [now_ns () - since], clamped at [0L]. *)
+val elapsed_ns : since:int64 -> int64
+
+(** Nanoseconds to seconds ([Int64.to_float ns /. 1e9]). *)
+val ns_to_s : int64 -> float
+
+(** Nanoseconds to microseconds — the unit of Chrome [trace_event]
+    timestamps. *)
+val ns_to_us : int64 -> float

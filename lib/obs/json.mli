@@ -1,0 +1,29 @@
+(** A minimal JSON {e builder} (no parser) shared by the trace exporters,
+    the metrics dump, the CLI envelope ({!Output}) and the bench harness.
+
+    Values serialize deterministically: object members print in the order
+    given, floats use a shortest-faithful rendering, and non-finite
+    floats become [null] (JSON has no representation for them). [Raw]
+    splices a pre-rendered JSON fragment verbatim — the bridge for
+    producers that already emit JSON text (e.g.
+    [Analysis.Diag.to_json], [Proptest.Oracle.report_json]); the caller
+    is responsible for its validity. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (** pre-rendered JSON, spliced verbatim *)
+
+(** [to_string ?pretty v] serializes [v]; [pretty] (default false)
+    pretty-prints with 2-space indentation, otherwise the output is
+    compact single-line JSON. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** JSON string-escape (quotes, backslash, control characters); returns
+    the escaped body {e without} surrounding quotes. *)
+val escape : string -> string

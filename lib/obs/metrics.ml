@@ -1,0 +1,128 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_buckets : int Atomic.t array;
+}
+
+let n_buckets = 64
+
+type entry = C of counter | G of gauge | H of histogram
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let type_clash name wanted =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S already registered as a different type (%s requested)"
+       name wanted)
+
+let register name wanted existing build =
+  Mutex.lock registry_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some e -> existing e
+    | None ->
+      let m = build () in
+      Hashtbl.add registry name m;
+      existing m
+  in
+  Mutex.unlock registry_mutex;
+  match r with Some m -> m | None -> type_clash name wanted
+
+let counter name =
+  register name "counter"
+    (function C c -> Some c | _ -> None)
+    (fun () -> C (Atomic.make 0))
+
+let gauge name =
+  register name "gauge"
+    (function G g -> Some g | _ -> None)
+    (fun () -> G (Atomic.make 0.0))
+
+let histogram name =
+  register name "histogram"
+    (function H h -> Some h | _ -> None)
+    (fun () ->
+      H
+        {
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0;
+          h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        })
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let set g v = Atomic.set g v
+
+let bucket_index v =
+  if Float.is_nan v || v <= 1.0 then 0
+  else if v = Float.infinity then n_buckets - 1
+  else begin
+    (* v = m * 2^e, 0.5 <= m < 1.  v in (2^(i-1), 2^i] maps to bucket i:
+       an exact power 2^i has m = 0.5, e = i + 1. *)
+    let m, e = Float.frexp v in
+    let i = if m = 0.5 then e - 1 else e in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let bucket_upper i =
+  if i >= n_buckets - 1 then Float.infinity else Float.ldexp 1.0 i
+
+let atomic_add_float a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. v)) then go ()
+  in
+  go ()
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  atomic_add_float h.h_sum v;
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+let read_entry = function
+  | C c -> Counter (Atomic.get c)
+  | G g -> Gauge (Atomic.get g)
+  | H h ->
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let n = Atomic.get h.h_buckets.(i) in
+      if n > 0 then buckets := (bucket_upper i, n) :: !buckets
+    done;
+    Histogram
+      { count = Atomic.get h.h_count; sum = Atomic.get h.h_sum; buckets = !buckets }
+
+let dump () =
+  Mutex.lock registry_mutex;
+  let entries = Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  entries
+  |> List.map (fun (name, e) -> (name, read_entry e))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
+      | H h ->
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0.0;
+        Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,8 @@
+let envelope ~ok ~command data =
+  Json.Obj [ ("ok", Json.Bool ok); ("command", Json.Str command); ("data", data) ]
+
+let to_string ~ok ~command data = Json.to_string (envelope ~ok ~command data)
+
+let print ~ok ~command data =
+  print_string (to_string ~ok ~command data);
+  print_newline ()

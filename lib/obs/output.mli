@@ -1,0 +1,19 @@
+(** The shared machine-readable CLI envelope.
+
+    Every [triqc] subcommand that offers [--json] prints exactly one
+    compact line of the form
+
+    {[ {"ok": <bool>, "command": "<subcommand>", "data": <payload>} ]}
+
+    so scripts can dispatch on [.ok]/[.command] without per-command
+    parsers. [ok] reflects the {e domain} outcome (lint found no errors,
+    fuzz found no counterexample) — the process exit code is still the
+    authoritative pass/fail signal. *)
+
+(** [envelope ~ok ~command data] builds the standard envelope. *)
+val envelope : ok:bool -> command:string -> Json.t -> Json.t
+
+val to_string : ok:bool -> command:string -> Json.t -> string
+
+(** Print the envelope to stdout as one line, then flush. *)
+val print : ok:bool -> command:string -> Json.t -> unit

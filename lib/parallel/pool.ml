@@ -7,6 +7,16 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+(* Task count is a cheap atomic add and always on; the two histograms
+   each cost clock reads per batch participant, so they only record when
+   [Obs.Metrics.enable] was called (triqc metrics / bench). Either way
+   the work assignment and results are untouched — instrumentation can
+   never break the pool's determinism contract. *)
+let m_tasks = Obs.Metrics.counter "parallel.pool.tasks"
+let m_jobs = Obs.Metrics.gauge "parallel.pool.jobs"
+let m_queue_wait = Obs.Metrics.histogram "parallel.pool.queue_wait_ns"
+let m_busy = Obs.Metrics.histogram "parallel.pool.busy_ns"
+
 (* Workers block on the queue and run whatever batch-driver closures maps
    push; a driver returns once its batch has no work left to claim. *)
 let worker t =
@@ -43,6 +53,7 @@ let create ~jobs =
     }
   in
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  Obs.Metrics.set m_jobs (float_of_int jobs);
   t
 
 let jobs t = t.jobs
@@ -81,18 +92,37 @@ let map_array t f xs =
         drive ()
       end
     in
+    Obs.Metrics.incr m_tasks ~by:n;
+    let instrumented = Obs.Metrics.enabled () in
+    (* [timed_drive] wraps one batch participant: queue-wait is the time
+       a helper closure sat in the queue before a worker picked it up,
+       busy is the participant's total claiming/working time. *)
+    let timed_drive ~queued_ns () =
+      (match queued_ns with
+      | Some since ->
+        Obs.Metrics.observe m_queue_wait
+          (Int64.to_float (Obs.Clock.elapsed_ns ~since))
+      | None -> ());
+      let t0 = Obs.Clock.now_ns () in
+      drive ();
+      Obs.Metrics.observe m_busy (Int64.to_float (Obs.Clock.elapsed_ns ~since:t0))
+    in
     let helpers = min (t.jobs - 1) (n - 1) in
     if helpers > 0 then begin
       Mutex.lock t.mutex;
       if not t.closed then begin
         for _ = 1 to helpers do
-          Queue.push drive t.queue
+          if instrumented then begin
+            let queued = Obs.Clock.now_ns () in
+            Queue.push (timed_drive ~queued_ns:(Some queued)) t.queue
+          end
+          else Queue.push drive t.queue
         done;
         Condition.broadcast t.work
       end;
       Mutex.unlock t.mutex
     end;
-    drive ();
+    if instrumented then timed_drive ~queued_ns:None () else drive ();
     Mutex.lock t.mutex;
     while not !finished do
       Condition.wait all_done t.mutex

@@ -12,7 +12,16 @@
     callers are responsible for making each task self-contained (e.g. a
     pre-split RNG per task, see {!Mathkit.Rng.split}). Everything built on
     this module (trajectory simulation, experiment sweeps) is bit-for-bit
-    identical for every [jobs] value. *)
+    identical for every [jobs] value.
+
+    Observability: every map reports its task count to the
+    ["parallel.pool.tasks"] counter and pool sizes to the
+    ["parallel.pool.jobs"] gauge; when [Obs.Metrics.enable] is on, the
+    ["parallel.pool.queue_wait_ns"] histogram records how long helper
+    closures sat queued before a worker claimed them and
+    ["parallel.pool.busy_ns"] each participant's working time per batch
+    (per-domain lanes are visible in Chrome traces via span [tid]s).
+    Instrumentation never alters scheduling or results. *)
 
 type t
 

@@ -193,7 +193,7 @@ let check_determinism ~machine ~sample_counts ~explicit_t1 ~run_seed c =
   if (not (Device.Machine.fits machine c)) || measured = [] then Ok ()
   else begin
     match
-      Triq.Pipeline.compile machine c ~level:Triq.Pipeline.OneQOptCN
+      Triq.Pipeline.compile_level machine c ~level:Triq.Pipeline.OneQOptCN
     with
     | exception e ->
       Error (Printf.sprintf "compile raised: %s" (Printexc.to_string e))
@@ -205,8 +205,11 @@ let check_determinism ~machine ~sample_counts ~explicit_t1 ~run_seed c =
         | dist -> Ir.Spec.distribution measured dist
       in
       let run pool =
-        Sim.Runner.run ~seed:run_seed ~trials:512 ~trajectories:60 ~sample_counts
-          ~explicit_t1 ~pool executable spec
+        Sim.Runner.simulate
+          ~config:
+            (Sim.Runner.Config.make ~seed:run_seed ~trials:512 ~trajectories:60
+               ~sample_counts ~explicit_t1 ~pool ())
+          executable spec
       in
       match List.map (fun (j, p) -> (j, run p)) (Lazy.force pools) with
       | exception e ->

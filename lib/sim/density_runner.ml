@@ -8,6 +8,10 @@ type outcome = {
 }
 
 let run ?(explicit_t1 = false) (compiled : Compiled.t) spec =
+  Obs.Span.with_span
+    ~attrs:[ ("machine", Obs.Span.Str compiled.Compiled.machine.Machine.name) ]
+    "sim.density"
+  @@ fun () ->
   let hardware = compiled.Compiled.hardware in
   let machine = compiled.Compiled.machine in
   let calibration = Machine.calibration machine ~day:compiled.Compiled.day in

@@ -50,7 +50,11 @@ let correct ~flip dist =
   Dist.to_strings v
 
 let mitigated_success ?seed ?trials ?trajectories (compiled : Triq.Compiled.t) spec =
-  let outcome = Runner.run ?seed ?trials ?trajectories compiled spec in
+  let outcome =
+    Runner.simulate
+      ~config:(Runner.Config.make ?seed ?trials ?trajectories ())
+      compiled spec
+  in
   let machine = compiled.Triq.Compiled.machine in
   let calibration =
     Device.Machine.calibration machine ~day:compiled.Triq.Compiled.day

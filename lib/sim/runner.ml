@@ -18,13 +18,54 @@ type outcome = {
    is bit-for-bit identical for every [-j]. *)
 let traj_block = 25
 
-let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
-    ?(sample_counts = false) ?(explicit_t1 = false) ?pool compiled spec =
+module Config = struct
+  type t = {
+    seed : int;
+    trials : int;
+    trajectories : int;
+    day : int option;
+    sample_counts : bool;
+    explicit_t1 : bool;
+    pool : Parallel.Pool.t option;
+  }
+
+  let default =
+    {
+      seed = 0xC0FFEE;
+      trials = 8192;
+      trajectories = 300;
+      day = None;
+      sample_counts = false;
+      explicit_t1 = false;
+      pool = None;
+    }
+
+  let make ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
+      ?(sample_counts = false) ?(explicit_t1 = false) ?pool () =
+    { seed; trials; trajectories; day; sample_counts; explicit_t1; pool }
+end
+
+let m_trajectories = Obs.Metrics.counter "sim.trajectories"
+let m_blocks = Obs.Metrics.counter "sim.blocks"
+
+let simulate ?(config = Config.default) compiled spec =
+  let { Config.seed; trials; trajectories; day; sample_counts; explicit_t1; pool } =
+    config
+  in
   (* Zero trajectories would silently divide the averaged distribution by
      zero and return all-NaN outcomes; zero trials the same for counts. *)
-  if trials < 1 then invalid_arg "Runner.run: trials must be >= 1";
-  if trajectories < 1 then invalid_arg "Runner.run: trajectories must be >= 1";
+  if trials < 1 then invalid_arg "Runner.simulate: trials must be >= 1";
+  if trajectories < 1 then invalid_arg "Runner.simulate: trajectories must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  Obs.Span.with_span
+    ~attrs:
+      [
+        ("machine", Obs.Span.Str compiled.Compiled.machine.Machine.name);
+        ("trajectories", Obs.Span.Int trajectories);
+        ("trials", Obs.Span.Int trials);
+      ]
+    "sim.run"
+  @@ fun () ->
   let hardware = compiled.Compiled.hardware in
   let machine = compiled.Compiled.machine in
   (* [day] overrides the calibration the executable runs under — by default
@@ -36,8 +77,8 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
   (* Simulate only the qubits the hardware circuit touches. *)
   let used = Ir.Circuit.used_qubits hardware in
   let k = List.length used in
-  if k = 0 then invalid_arg "Runner.run: empty circuit";
-  if k > 20 then invalid_arg "Runner.run: circuit touches too many qubits to simulate";
+  if k = 0 then invalid_arg "Runner.simulate: empty circuit";
+  if k > 20 then invalid_arg "Runner.simulate: circuit touches too many qubits to simulate";
   (* Hardware qubit -> compact simulated index, O(1) on the hot path. *)
   let qubit_of =
     let table = Array.make (1 + List.fold_left max 0 used) (-1) in
@@ -150,7 +191,21 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
     partial
   in
   let n_blocks = (trajectories + traj_block - 1) / traj_block in
-  let partials = Parallel.Pool.map pool run_block (List.init n_blocks Fun.id) in
+  Obs.Metrics.incr m_trajectories ~by:trajectories;
+  Obs.Metrics.incr m_blocks ~by:n_blocks;
+  (* Each trajectory block gets its own span so a Chrome trace shows how
+     blocks spread across pool domains (tid = domain). The wrapper only
+     exists while the sink is enabled — the common path hands the bare
+     closure to the pool. *)
+  let traced_block =
+    if Obs.Span.enabled () then fun b ->
+      Obs.Span.with_span
+        ~attrs:[ ("block", Obs.Span.Int b) ]
+        "sim.block"
+        (fun () -> run_block b)
+    else run_block
+  in
+  let partials = Parallel.Pool.map pool traced_block (List.init n_blocks Fun.id) in
   let avg = Array.make dim 0.0 in
   List.iter
     (fun partial ->
@@ -170,7 +225,7 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
         | Some hw -> qubit_of hw
         | None ->
           invalid_arg
-            (Printf.sprintf "Runner.run: program qubit %d is not measured" p))
+            (Printf.sprintf "Runner.simulate: program qubit %d is not measured" p))
       measured_program
   in
   let flip =
@@ -221,6 +276,13 @@ let run ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
     trials;
     trajectories;
   }
+
+let run ?seed ?trials ?trajectories ?day ?sample_counts ?explicit_t1 ?pool
+    compiled spec =
+  simulate
+    ~config:(Config.make ?seed ?trials ?trajectories ?day ?sample_counts
+               ?explicit_t1 ?pool ())
+    compiled spec
 
 let ideal_distribution (circuit : Ir.Circuit.t) ~measured =
   let state = Statevector.run circuit in

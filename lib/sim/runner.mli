@@ -33,23 +33,67 @@ type outcome = {
   trajectories : int;
 }
 
-(** [run ?seed ?trials ?trajectories ?day compiled spec] executes a
-    compiled program against its specification. [spec.measured] must list
-    exactly the program qubits the compiled circuit reads out. [day]
-    selects the calibration the run happens under (default: the day the
-    executable was compiled against — pass a later day to model a stale
-    executable on a drifted machine). [sample_counts] draws the counts as
-    a true multinomial sample (realistic shot noise) instead of the
-    default deterministic largest-remainder rendering. [explicit_t1]
-    models decoherence as an amplitude-damping channel (quantum-jump
-    trajectories) instead of folding it into the depolarizing
-    probability — cross-validated against the exact backend. [pool]
-    selects the domain pool trajectories fan out across (default: the
-    process-wide {!Parallel.Pool.default} — pass a [jobs:1] pool to force
-    sequential execution; the result is identical either way). Defaults:
-    [seed 0xC0FFEE], [trials 8192], [trajectories 300]. Raises
-    [Invalid_argument] if [trials] or [trajectories] is below 1 (zero
-    trajectories would yield all-NaN outcomes). *)
+(** Typed run configuration, mirroring [Pass.Config.t] on the compile
+    side: one value to build once, thread through helpers, and record in
+    reports, instead of re-plumbing seven optional arguments through
+    every wrapper. *)
+module Config : sig
+  type t = {
+    seed : int;  (** master RNG seed (default [0xC0FFEE]) *)
+    trials : int;  (** shots the counts are scaled to (default 8192) *)
+    trajectories : int;  (** Monte-Carlo error trajectories (default 300) *)
+    day : int option;
+        (** calibration day the run happens under; [None] (default) uses
+            the day the executable was compiled against — pass a later
+            day to model a stale executable on a drifted machine *)
+    sample_counts : bool;
+        (** draw counts as a true multinomial sample (realistic shot
+            noise) instead of the default deterministic
+            largest-remainder rendering *)
+    explicit_t1 : bool;
+        (** model decoherence as an amplitude-damping channel
+            (quantum-jump trajectories) instead of folding it into the
+            depolarizing probability — cross-validated against the exact
+            backend *)
+    pool : Parallel.Pool.t option;
+        (** domain pool trajectories fan out across; [None] (default)
+            uses the process-wide {!Parallel.Pool.default}. A [jobs:1]
+            pool forces sequential execution; the result is identical
+            either way. *)
+  }
+
+  val default : t
+
+  val make :
+    ?seed:int ->
+    ?trials:int ->
+    ?trajectories:int ->
+    ?day:int ->
+    ?sample_counts:bool ->
+    ?explicit_t1:bool ->
+    ?pool:Parallel.Pool.t ->
+    unit ->
+    t
+end
+
+(** [simulate ?config compiled spec] executes a compiled program against
+    its specification under [config] (default {!Config.default}).
+    [spec.measured] must list exactly the program qubits the compiled
+    circuit reads out.
+
+    Observability: the whole run executes inside an [Obs.Span] named
+    ["sim.run"], each trajectory block in a child ["sim.block"] span on
+    whichever pool domain executed it, and the ["sim.trajectories"] /
+    ["sim.blocks"] counters accumulate volume. None of it perturbs the
+    simulation: results stay bit-identical with tracing on or off.
+
+    Raises [Invalid_argument] if [trials] or [trajectories] is below 1
+    (zero trajectories would yield all-NaN outcomes). *)
+val simulate : ?config:Config.t -> Triq.Compiled.t -> Ir.Spec.t -> outcome
+
+(** Deprecated optional-argument spelling of {!simulate}: each argument
+    populates the corresponding {!Config.t} field. Behaviour is
+    identical (a golden equivalence test pins this). *)
 val run :
   ?seed:int ->
   ?trials:int ->
@@ -61,6 +105,7 @@ val run :
   Triq.Compiled.t ->
   Ir.Spec.t ->
   outcome
+[@@deprecated "use Runner.simulate ~config"]
 
 (** [ideal_distribution circuit ~measured] is the noiseless output
     distribution of a *program-level* circuit over the given measured

@@ -1,6 +1,6 @@
 (* Tests for the static-analysis layer: the diagnostic type, every rule in
    the Check catalog (each triggered by a deliberately broken fixture), the
-   Scaffold linter, the pass-invariant harness in Pipeline.compile, and the
+   Scaffold linter, the pass-invariant harness in Pipeline.compile_level, and the
    machine x level x benchmark matrix that must come back clean. *)
 
 module G = Ir.Gate
@@ -177,7 +177,7 @@ let test_rule_counters () =
 (* Tampering with a really-compiled executable is caught by the audit. *)
 let test_tampered_executable () =
   let p = Programs.bv 4 in
-  let r = Pipeline.compile Machines.ibmq5 p.Programs.circuit ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level Machines.ibmq5 p.Programs.circuit ~level:Pipeline.OneQOptCN in
   let c = Pipeline.to_compiled r in
   clean "untouched" (Triq.Validate.check_compiled c);
   fired "tampered 2q" "exec.count-2q"
@@ -319,7 +319,8 @@ let test_static_clean_implies_verified () =
           if Device.Machine.fits machine p.Programs.circuit then begin
             let measured = Circuit.measured_qubits p.Programs.circuit in
             let r =
-              Pipeline.compile ~validate:true machine p.Programs.circuit
+              Pipeline.compile_level ~config:(Triq.Pass.Config.make ~validate:true ())
+                machine p.Programs.circuit
                 ~level:Pipeline.OneQOptCN
             in
             let c = Pipeline.to_compiled r in

@@ -28,7 +28,7 @@ let check_wellformed (compiled : Triq.Compiled.t) =
     compiled.Triq.Compiled.hardware.Circuit.gates
 
 let success (compiled : Triq.Compiled.t) spec =
-  (Sim.Runner.run ~trajectories:150 compiled spec).Sim.Runner.success_rate
+  (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled spec).Sim.Runner.success_rate
 
 (* ---------- Qiskit-like ---------- *)
 
@@ -47,7 +47,7 @@ let test_qiskit_correct_output () =
   (* Semantics: the Qiskit-like output still computes the right answer
      (high success on a noiseless-ish ideal check via strong dominance). *)
   let compiled = Baselines.Qiskit_like.compile Machines.ibmq5 bv4.Bench_kit.Programs.circuit in
-  let outcome = Sim.Runner.run ~trajectories:150 compiled bv4.Bench_kit.Programs.spec in
+  let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled bv4.Bench_kit.Programs.spec in
   Alcotest.(check bool)
     (Printf.sprintf "correct answer dominates (%.2f)" outcome.Sim.Runner.success_rate)
     true outcome.Sim.Runner.dominant_correct
@@ -67,7 +67,7 @@ let test_triq_beats_qiskit () =
       (fun (p : Bench_kit.Programs.t) ->
         let triq =
           Pipeline.to_compiled
-            (Pipeline.compile Machines.ibmq14 p.Bench_kit.Programs.circuit
+            (Pipeline.compile_level Machines.ibmq14 p.Bench_kit.Programs.circuit
                ~level:Pipeline.OneQOptCN)
         in
         let qiskit = Baselines.Qiskit_like.compile Machines.ibmq14 p.Bench_kit.Programs.circuit in
@@ -109,7 +109,7 @@ let test_quil_more_swaps_than_triq () =
   let p = bv4 in
   let quil = Baselines.Quil_like.compile Machines.agave p.Bench_kit.Programs.circuit in
   let triq =
-    Pipeline.compile Machines.agave p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN
+    Pipeline.compile_level Machines.agave p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN
   in
   Alcotest.(check bool)
     (Printf.sprintf "quil %d >= triq %d swaps" quil.Triq.Compiled.swap_count
@@ -140,7 +140,7 @@ let test_zulehner_locality () =
 
 let test_zulehner_correct_output () =
   let compiled = Baselines.Zulehner_like.compile Machines.ibmq16 bv4.Bench_kit.Programs.circuit in
-  let outcome = Sim.Runner.run ~trajectories:150 compiled bv4.Bench_kit.Programs.spec in
+  let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled bv4.Bench_kit.Programs.spec in
   Alcotest.(check bool) "correct answer dominates" true outcome.Sim.Runner.dominant_correct
 
 let test_compiler_labels () =

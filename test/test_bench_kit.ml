@@ -82,10 +82,10 @@ let test_extras () =
     (List.length ghz.Programs.spec.Ir.Spec.expected);
   let compiled =
     Triq.Pipeline.to_compiled
-      (Triq.Pipeline.compile Device.Machines.umdti ghz.Programs.circuit
+      (Triq.Pipeline.compile_level Device.Machines.umdti ghz.Programs.circuit
          ~level:Triq.Pipeline.OneQOptCN)
   in
-  let outcome = Sim.Runner.run ~trajectories:150 compiled ghz.Programs.spec in
+  let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled ghz.Programs.spec in
   Alcotest.(check bool)
     (Printf.sprintf "ghz high overlap (%.2f)" outcome.Sim.Runner.success_rate)
     true

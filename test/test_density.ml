@@ -106,11 +106,11 @@ let test_channel_probability_validation () =
 let cross_validate name machine (p : Bench_kit.Programs.t) =
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
+      (Pipeline.compile_level machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
   in
   let exact = Sim.Density_runner.run compiled p.Bench_kit.Programs.spec in
   let sampled =
-    Sim.Runner.run ~trajectories:3000 compiled p.Bench_kit.Programs.spec
+    Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:3000 ()) compiled p.Bench_kit.Programs.spec
   in
   let diff = Float.abs (exact.Sim.Density_runner.success_rate -. sampled.Sim.Runner.success_rate) in
   if diff > 0.03 then
@@ -145,12 +145,12 @@ let test_full_distribution_cross_validation () =
     (fun (machine, (p : Bench_kit.Programs.t)) ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile machine p.Bench_kit.Programs.circuit
+          (Pipeline.compile_level machine p.Bench_kit.Programs.circuit
              ~level:Pipeline.OneQOptCN)
       in
       let exact = Sim.Density_runner.run compiled p.Bench_kit.Programs.spec in
       let sampled =
-        Sim.Runner.run ~trajectories:3000 compiled p.Bench_kit.Programs.spec
+        Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:3000 ()) compiled p.Bench_kit.Programs.spec
       in
       let tvd =
         Sim.Dist.total_variation exact.Sim.Density_runner.distribution
@@ -169,7 +169,7 @@ let test_exact_distribution_sums_to_one () =
   let p = Bench_kit.Programs.toffoli in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.umdti p.Bench_kit.Programs.circuit
+      (Pipeline.compile_level Machines.umdti p.Bench_kit.Programs.circuit
          ~level:Pipeline.OneQOptCN)
   in
   let exact = Sim.Density_runner.run compiled p.Bench_kit.Programs.spec in
@@ -188,14 +188,14 @@ let test_t1_mode_cross_validation () =
     (fun (machine, (p : Bench_kit.Programs.t)) ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile machine p.Bench_kit.Programs.circuit
+          (Pipeline.compile_level machine p.Bench_kit.Programs.circuit
              ~level:Pipeline.OneQOptCN)
       in
       let exact =
         Sim.Density_runner.run ~explicit_t1:true compiled p.Bench_kit.Programs.spec
       in
       let sampled =
-        Sim.Runner.run ~explicit_t1:true ~trajectories:3000 compiled
+        Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~explicit_t1:true ~trajectories:3000 ()) compiled
           p.Bench_kit.Programs.spec
       in
       let diff =
@@ -238,7 +238,7 @@ let test_t1_model_choice_similar () =
   let p = Bench_kit.Programs.bv 4 in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.ibmq5 p.Bench_kit.Programs.circuit
+      (Pipeline.compile_level Machines.ibmq5 p.Bench_kit.Programs.circuit
          ~level:Pipeline.OneQOptCN)
   in
   let folded = (Sim.Density_runner.run compiled p.Bench_kit.Programs.spec).Sim.Density_runner.success_rate in
@@ -253,7 +253,7 @@ let test_exact_runner_rejects_large () =
   let p = Bench_kit.Programs.bv 8 in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.ibmq16 p.Bench_kit.Programs.circuit
+      (Pipeline.compile_level Machines.ibmq16 p.Bench_kit.Programs.circuit
          ~level:Pipeline.N)
   in
   (* BV8 at level N touches many qubits through swap chains; if it exceeds

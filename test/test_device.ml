@@ -392,7 +392,7 @@ let test_machine_io_usable_for_compilation () =
   let m = Machine_io.of_string (Machine_io.to_string Machines.agave) in
   let p = Circuit.measure_all
       (Circuit.create 2 [ G.One (G.H, 0); G.Two (G.Cnot, 0, 1) ]) [ 0; 1 ] in
-  let compiled = Triq.Pipeline.compile m p ~level:Triq.Pipeline.OneQOptCN in
+  let compiled = Triq.Pipeline.compile_level m p ~level:Triq.Pipeline.OneQOptCN in
   Alcotest.(check bool) "compiles" true (compiled.Triq.Pipeline.two_q_count > 0)
 
 (* qcheck: random ring machines roundtrip through JSON exactly. *)

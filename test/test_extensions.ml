@@ -117,17 +117,18 @@ let test_peephole_pipeline_integration () =
      and never use more 2Q gates. *)
   let p = Bench_kit.Programs.peres in
   let without =
-    Pipeline.compile Machines.ibmq14 p.Bench_kit.Programs.circuit
+    Pipeline.compile_level Machines.ibmq14 p.Bench_kit.Programs.circuit
       ~level:Pipeline.OneQOptCN
   in
   let with_ =
-    Pipeline.compile ~peephole:true Machines.ibmq14 p.Bench_kit.Programs.circuit
+    Pipeline.compile_level ~config:(Triq.Pass.Config.make ~peephole:true ())
+      Machines.ibmq14 p.Bench_kit.Programs.circuit
       ~level:Pipeline.OneQOptCN
   in
   Alcotest.(check bool) "not worse" true
     (with_.Pipeline.two_q_count <= without.Pipeline.two_q_count);
   let outcome =
-    Sim.Runner.run ~trajectories:150 (Pipeline.to_compiled with_)
+    Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) (Pipeline.to_compiled with_)
       p.Bench_kit.Programs.spec
   in
   Alcotest.(check bool) "still correct" true outcome.Sim.Runner.dominant_correct
@@ -212,9 +213,9 @@ let test_ion_trap_noise_adaptivity_matters_more () =
   let gain machine =
     let s level =
       let compiled =
-        Pipeline.compile machine p.Bench_kit.Programs.circuit ~level
+        Pipeline.compile_level machine p.Bench_kit.Programs.circuit ~level
       in
-      (Sim.Runner.run ~trajectories:200 (Pipeline.to_compiled compiled)
+      (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:200 ()) (Pipeline.to_compiled compiled)
          p.Bench_kit.Programs.spec).Sim.Runner.success_rate
     in
     s Pipeline.OneQOptCN /. s Pipeline.OneQOptC
@@ -238,8 +239,10 @@ let test_lookahead_preserves_semantics () =
           if Machine.fits machine p.Bench_kit.Programs.circuit then begin
             let compiled =
               Pipeline.to_compiled
-                (Pipeline.compile ~router:`Lookahead machine
-                   p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
+                (Pipeline.compile_level
+                   ~config:
+                     (Triq.Pass.Config.make ~router:Triq.Pass.Config.Lookahead ())
+                   machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
             in
             let result =
               Sim.Verify.check_spec p.Bench_kit.Programs.spec
@@ -262,11 +265,13 @@ let test_lookahead_not_worse_on_2q () =
         if not (Machine.fits machine p.Bench_kit.Programs.circuit) then None
         else begin
           let count router =
-            (Pipeline.compile ~router machine p.Bench_kit.Programs.circuit
-               ~level:Pipeline.OneQOptCN)
+            (Pipeline.compile_level ~config:(Triq.Pass.Config.make ~router ())
+               machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
               .Pipeline.two_q_count
           in
-          Some (float_of_int (count `Default), float_of_int (count `Lookahead))
+          Some
+            ( float_of_int (count Triq.Pass.Config.Default),
+              float_of_int (count Triq.Pass.Config.Lookahead) )
         end)
       Bench_kit.Programs.all
   in
@@ -281,7 +286,7 @@ let test_parametric_semantics () =
     (fun (p : Bench_kit.Programs.t) ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile Machines.aspen1_parametric p.Bench_kit.Programs.circuit
+          (Pipeline.compile_level Machines.aspen1_parametric p.Bench_kit.Programs.circuit
              ~level:Pipeline.OneQOptCN)
       in
       Alcotest.(check bool) (p.Bench_kit.Programs.name ^ " visible") true
@@ -300,7 +305,7 @@ let test_parametric_fewer_two_q () =
   (* Swap-heavy programs must use at most as many 2Q interactions. *)
   let p = Bench_kit.Programs.bv 8 in
   let count machine =
-    (Pipeline.compile machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
+    (Pipeline.compile_level machine p.Bench_kit.Programs.circuit ~level:Pipeline.OneQOptCN)
       .Pipeline.two_q_count
   in
   let plain = count Machines.aspen1 and parametric = count Machines.aspen1_parametric in
@@ -312,7 +317,7 @@ let test_parametric_quil_roundtrip () =
   let p = Bench_kit.Programs.bv 6 in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.aspen1_parametric p.Bench_kit.Programs.circuit
+      (Pipeline.compile_level Machines.aspen1_parametric p.Bench_kit.Programs.circuit
          ~level:Pipeline.OneQOptCN)
   in
   let text = Backend.Quil_emit.emit compiled in

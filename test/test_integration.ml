@@ -37,7 +37,7 @@ let test_triq_semantics_all_levels () =
             List.iter
               (fun level ->
                 let compiled =
-                  Pipeline.to_compiled (Pipeline.compile machine p.Programs.circuit ~level)
+                  Pipeline.to_compiled (Pipeline.compile_level machine p.Programs.circuit ~level)
                 in
                 check_semantics
                   (Printf.sprintf "%s/%s/%s" machine.Machine.name p.Programs.name
@@ -56,7 +56,8 @@ let test_triq_semantics_across_days () =
     (fun day ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile ~day machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
+          (Pipeline.compile_level ~config:(Triq.Pass.Config.make ~day ())
+             machine p.Programs.circuit ~level:Pipeline.OneQOptCN)
       in
       check_semantics (Printf.sprintf "day %d" day) compiled p)
     [ 0; 3; 7; 11 ]
@@ -79,7 +80,7 @@ let test_sequences_semantics_on_umd () =
       let p = Bench_kit.Sequences.fredkin k in
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile Machines.umdti p.Programs.circuit ~level:Pipeline.OneQOptCN)
+          (Pipeline.compile_level Machines.umdti p.Programs.circuit ~level:Pipeline.OneQOptCN)
       in
       check_semantics (Printf.sprintf "fredkin-x%d" k) compiled p)
     [ 1; 2; 3 ]
@@ -103,10 +104,10 @@ let test_scaffold_to_execution () =
     (fun machine ->
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile machine program.Scaffold.Lower.circuit
+          (Pipeline.compile_level machine program.Scaffold.Lower.circuit
              ~level:Pipeline.OneQOptCN)
       in
-      let outcome = Sim.Runner.run ~trajectories:150 compiled spec in
+      let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled spec in
       if not outcome.Sim.Runner.dominant_correct then
         Alcotest.failf "%s: wrong answer dominates" machine.Machine.name)
     [ Machines.ibmq5; Machines.umdti ]
@@ -126,7 +127,7 @@ let test_scaffold_qasm_roundtrip () =
   let program = Scaffold.Lower.compile_string source in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.ibmq5 program.Scaffold.Lower.circuit
+      (Pipeline.compile_level Machines.ibmq5 program.Scaffold.Lower.circuit
          ~level:Pipeline.OneQOptCN)
   in
   let text = Backend.Qasm_emit.emit compiled in
@@ -142,10 +143,10 @@ let test_umdti_never_fails () =
       if Machine.fits Machines.umdti p.Programs.circuit then begin
         let compiled =
           Pipeline.to_compiled
-            (Pipeline.compile Machines.umdti p.Programs.circuit
+            (Pipeline.compile_level Machines.umdti p.Programs.circuit
                ~level:Pipeline.OneQOptCN)
         in
-        let outcome = Sim.Runner.run ~trajectories:150 compiled p.Programs.spec in
+        let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled p.Programs.spec in
         if not outcome.Sim.Runner.dominant_correct then
           Alcotest.failf "%s failed on UMDTI" p.Programs.name;
         if outcome.Sim.Runner.success_rate < 0.5 then
@@ -162,14 +163,14 @@ let test_esp_tracks_success () =
   let p = Programs.bv 6 in
   let variants =
     List.map
-      (fun level -> Pipeline.to_compiled (Pipeline.compile machine p.Programs.circuit ~level))
+      (fun level -> Pipeline.to_compiled (Pipeline.compile_level machine p.Programs.circuit ~level))
       Pipeline.all_levels
   in
   let scored =
     List.map
       (fun c ->
         ( c.Triq.Compiled.esp,
-          (Sim.Runner.run ~trajectories:200 c p.Programs.spec).Sim.Runner.success_rate ))
+          (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:200 ()) c p.Programs.spec).Sim.Runner.success_rate ))
       variants
   in
   List.iter
@@ -240,7 +241,7 @@ let prop_compile_on_random_machines =
       let program = (Bench_kit.Programs.toffoli).Programs.circuit in
       let compiled =
         Pipeline.to_compiled
-          (Pipeline.compile machine program ~level:Pipeline.OneQOptCN)
+          (Pipeline.compile_level machine program ~level:Pipeline.OneQOptCN)
       in
       let result =
         Sim.Verify.check ~program ~measured:[ 0; 1; 2 ] compiled
@@ -257,7 +258,7 @@ let prop_compile_preserves_semantics =
       List.for_all
         (fun (machine, level) ->
           let compiled =
-            Pipeline.to_compiled (Pipeline.compile machine program ~level)
+            Pipeline.to_compiled (Pipeline.compile_level machine program ~level)
           in
           let hw, mapping = Circuit.compact compiled.Triq.Compiled.hardware in
           let measured_hw =

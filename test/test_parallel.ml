@@ -82,7 +82,7 @@ let test_pool_default_resize () =
 let compiled_bv machine n =
   let p = Programs.bv n in
   ( Triq.Pipeline.to_compiled
-      (Triq.Pipeline.compile machine p.Programs.circuit
+      (Triq.Pipeline.compile_level machine p.Programs.circuit
          ~level:Triq.Pipeline.OneQOptCN),
     p.Programs.spec )
 
@@ -100,14 +100,14 @@ let test_runner_deterministic_across_jobs () =
   let compiled, spec = compiled_bv Machines.ibmq14 6 in
   Pool.with_pool ~jobs:1 (fun seq ->
       Pool.with_pool ~jobs:4 (fun par ->
-          let run pool = Runner.run ~trajectories:60 ~pool compiled spec in
+          let run pool = Runner.simulate ~config:(Runner.Config.make ~trajectories:60 ~pool ()) compiled spec in
           check_outcome_equal "plain" (run seq) (run par);
           let run_t1 pool =
-            Runner.run ~trajectories:40 ~explicit_t1:true ~pool compiled spec
+            Runner.simulate ~config:(Runner.Config.make ~trajectories:40 ~explicit_t1:true ~pool ()) compiled spec
           in
           check_outcome_equal "explicit t1" (run_t1 seq) (run_t1 par);
           let run_sc pool =
-            Runner.run ~trajectories:40 ~sample_counts:true ~pool compiled spec
+            Runner.simulate ~config:(Runner.Config.make ~trajectories:40 ~sample_counts:true ~pool ()) compiled spec
           in
           check_outcome_equal "sampled counts" (run_sc seq) (run_sc par)))
 
@@ -119,7 +119,7 @@ let test_runner_block_boundaries () =
       Pool.with_pool ~jobs:3 (fun par ->
           List.iter
             (fun trajectories ->
-              let run pool = Runner.run ~trajectories ~pool compiled spec in
+              let run pool = Runner.simulate ~config:(Runner.Config.make ~trajectories ~pool ()) compiled spec in
               check_outcome_equal
                 (Printf.sprintf "%d trajectories" trajectories)
                 (run seq) (run par))

@@ -234,11 +234,11 @@ let test_compiles_end_to_end () =
   in
   let compiled =
     Triq.Pipeline.to_compiled
-      (Triq.Pipeline.compile Device.Machines.umdti p.F.circuit
+      (Triq.Pipeline.compile_level Device.Machines.umdti p.F.circuit
          ~level:Triq.Pipeline.OneQOptCN)
   in
   let spec = Ir.Spec.deterministic p.F.measured "111" in
-  let outcome = Sim.Runner.run ~trajectories:150 compiled spec in
+  let outcome = Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trajectories:150 ()) compiled spec in
   Alcotest.(check bool) "correct" true outcome.Sim.Runner.dominant_correct
 
 let () =

@@ -202,19 +202,19 @@ let bell_spec = Ir.Spec.distribution [ 0; 1 ] [ ("00", 0.5); ("11", 0.5) ]
 let test_runner_rejects_degenerate_params () =
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN)
+      (Pipeline.compile_level Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN)
   in
   let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
   (* trajectories=0 used to divide the averaged distribution by zero and
      return all-NaN outcomes. *)
   Alcotest.(check bool) "trajectories=0 rejected" true
-    (raises (fun () -> Runner.run ~trajectories:0 compiled bell_spec));
+    (raises (fun () -> Runner.simulate ~config:(Runner.Config.make ~trajectories:0 ()) compiled bell_spec));
   Alcotest.(check bool) "trials=0 rejected" true
-    (raises (fun () -> Runner.run ~trials:0 compiled bell_spec))
+    (raises (fun () -> Runner.simulate ~config:(Runner.Config.make ~trials:0 ()) compiled bell_spec))
 
 let test_runner_bell_on_umd () =
-  let compiled = Pipeline.compile Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
-  let outcome = Runner.run (Pipeline.to_compiled compiled) bell_spec in
+  let compiled = Pipeline.compile_level Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
+  let outcome = Runner.simulate (Pipeline.to_compiled compiled) bell_spec in
   Alcotest.(check bool)
     (Printf.sprintf "high success (%f)" outcome.Runner.success_rate)
     true
@@ -223,9 +223,9 @@ let test_runner_bell_on_umd () =
     (List.fold_left (fun acc (_, n) -> acc + n) 0 outcome.Runner.counts)
 
 let test_runner_deterministic () =
-  let compiled = Pipeline.compile Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN in
-  let o1 = Runner.run ~seed:5 (Pipeline.to_compiled compiled) bell_spec in
-  let o2 = Runner.run ~seed:5 (Pipeline.to_compiled compiled) bell_spec in
+  let compiled = Pipeline.compile_level Machines.ibmq5 bell_program ~level:Pipeline.OneQOptCN in
+  let o1 = Runner.simulate ~config:(Runner.Config.make ~seed:5 ()) (Pipeline.to_compiled compiled) bell_spec in
+  let o2 = Runner.simulate ~config:(Runner.Config.make ~seed:5 ()) (Pipeline.to_compiled compiled) bell_spec in
   Alcotest.(check (float 1e-12)) "same seed, same result" o1.Runner.success_rate
     o2.Runner.success_rate
 
@@ -234,8 +234,8 @@ let test_runner_noise_hurts () =
      chance for a short circuit. *)
   let x_program = Circuit.measure_all (circuit 1 [ G.One (G.X, 0) ]) [ 0 ] in
   let spec = Ir.Spec.deterministic [ 0 ] "1" in
-  let compiled = Pipeline.compile Machines.agave x_program ~level:Pipeline.OneQOptCN in
-  let outcome = Runner.run (Pipeline.to_compiled compiled) spec in
+  let compiled = Pipeline.compile_level Machines.agave x_program ~level:Pipeline.OneQOptCN in
+  let outcome = Runner.simulate (Pipeline.to_compiled compiled) spec in
   Alcotest.(check bool) "below perfect" true (outcome.Runner.success_rate < 1.0);
   Alcotest.(check bool) "above chance" true (outcome.Runner.success_rate > 0.6)
 
@@ -260,14 +260,14 @@ let test_runner_better_esp_better_success () =
   (* Same program, same machine: the noise-aware compilation should not do
      materially worse than the naive one. *)
   let program = Bench_kit.Programs.(bv 4) in
-  let naive = Pipeline.compile Machines.ibmq14 program.Bench_kit.Programs.circuit ~level:Pipeline.N in
+  let naive = Pipeline.compile_level Machines.ibmq14 program.Bench_kit.Programs.circuit ~level:Pipeline.N in
   let smart =
-    Pipeline.compile Machines.ibmq14 program.Bench_kit.Programs.circuit
+    Pipeline.compile_level Machines.ibmq14 program.Bench_kit.Programs.circuit
       ~level:Pipeline.OneQOptCN
   in
   let spec = program.Bench_kit.Programs.spec in
-  let o_naive = Runner.run (Pipeline.to_compiled naive) spec in
-  let o_smart = Runner.run (Pipeline.to_compiled smart) spec in
+  let o_naive = Runner.simulate (Pipeline.to_compiled naive) spec in
+  let o_smart = Runner.simulate (Pipeline.to_compiled smart) spec in
   Alcotest.(check bool)
     (Printf.sprintf "smart %.3f >= naive %.3f - 0.05" o_smart.Runner.success_rate
        o_naive.Runner.success_rate)
@@ -275,9 +275,9 @@ let test_runner_better_esp_better_success () =
     (o_smart.Runner.success_rate >= o_naive.Runner.success_rate -. 0.05)
 
 let test_runner_sampled_counts () =
-  let compiled = Pipeline.compile Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
+  let compiled = Pipeline.compile_level Machines.umdti bell_program ~level:Pipeline.OneQOptCN in
   let o =
-    Runner.run ~seed:9 ~sample_counts:true (Pipeline.to_compiled compiled) bell_spec
+    Runner.simulate ~config:(Runner.Config.make ~seed:9 ~sample_counts:true ()) (Pipeline.to_compiled compiled) bell_spec
   in
   Alcotest.(check int) "counts sum to trials" o.Runner.trials
     (List.fold_left (fun acc (_, n) -> acc + n) 0 o.Runner.counts);
@@ -290,7 +290,7 @@ let test_runner_sampled_counts () =
     (Float.abs (p00 -. 0.5) < 0.05);
   (* Different seeds produce different samples. *)
   let o2 =
-    Runner.run ~seed:10 ~sample_counts:true (Pipeline.to_compiled compiled) bell_spec
+    Runner.simulate ~config:(Runner.Config.make ~seed:10 ~sample_counts:true ()) (Pipeline.to_compiled compiled) bell_spec
   in
   Alcotest.(check bool) "seeds differ" true (o.Runner.counts <> o2.Runner.counts)
 
@@ -330,7 +330,7 @@ let test_mitigation_improves_success () =
   let p = Bench_kit.Programs.toffoli in
   let compiled =
     Pipeline.to_compiled
-      (Pipeline.compile Machines.agave p.Bench_kit.Programs.circuit
+      (Pipeline.compile_level Machines.agave p.Bench_kit.Programs.circuit
          ~level:Pipeline.OneQOptCN)
   in
   let raw, mitigated =

@@ -462,7 +462,7 @@ let test_pipeline_all_levels_visible () =
     (fun machine ->
       List.iter
         (fun level ->
-          let r = Pipeline.compile machine bv4 ~level in
+          let r = Pipeline.compile_level machine bv4 ~level in
           if not (Gateset.circuit_visible machine.Device.Machine.basis r.Pipeline.hardware)
           then
             Alcotest.failf "non-visible output on %s at %s"
@@ -473,7 +473,7 @@ let test_pipeline_all_levels_visible () =
 let test_pipeline_two_q_on_coupled_pairs () =
   List.iter
     (fun machine ->
-      let r = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptCN in
+      let r = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptCN in
       List.iter
         (fun g ->
           match (g : G.t) with
@@ -487,7 +487,7 @@ let test_pipeline_two_q_on_coupled_pairs () =
 
 let test_pipeline_cnot_direction_respected () =
   let machine = Machines.ibmq5 in
-  let r = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptCN in
   List.iter
     (fun g ->
       match (g : G.t) with
@@ -498,13 +498,13 @@ let test_pipeline_cnot_direction_respected () =
     r.Pipeline.hardware.Circuit.gates
 
 let test_pipeline_umd_needs_no_swaps () =
-  let r = Pipeline.compile Machines.umdti bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level Machines.umdti bv4 ~level:Pipeline.OneQOptCN in
   Alcotest.(check int) "fully connected: zero swaps" 0 r.Pipeline.swap_count
 
 let test_pipeline_opt_levels_reduce_pulses () =
   let machine = Machines.ibmq14 in
-  let n = Pipeline.compile machine bv4 ~level:Pipeline.N in
-  let o = Pipeline.compile machine bv4 ~level:Pipeline.OneQOpt in
+  let n = Pipeline.compile_level machine bv4 ~level:Pipeline.N in
+  let o = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOpt in
   Alcotest.(check bool)
     (Printf.sprintf "pulses %d -> %d" n.Pipeline.pulse_count o.Pipeline.pulse_count)
     true
@@ -512,8 +512,8 @@ let test_pipeline_opt_levels_reduce_pulses () =
 
 let test_pipeline_comm_opt_reduces_two_q () =
   let machine = Machines.ibmq14 in
-  let o = Pipeline.compile machine bv4 ~level:Pipeline.OneQOpt in
-  let c = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptC in
+  let o = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOpt in
+  let c = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptC in
   Alcotest.(check bool)
     (Printf.sprintf "2q %d -> %d" o.Pipeline.two_q_count c.Pipeline.two_q_count)
     true
@@ -522,13 +522,13 @@ let test_pipeline_comm_opt_reduces_two_q () =
 let test_pipeline_esp_in_range () =
   List.iter
     (fun machine ->
-      let r = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptCN in
+      let r = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptCN in
       if r.Pipeline.esp <= 0.0 || r.Pipeline.esp > 1.0 then
         Alcotest.failf "esp out of range: %f" r.Pipeline.esp)
     Machines.all
 
 let test_pipeline_readout_map () =
-  let r = Pipeline.compile Machines.ibmq5 bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level Machines.ibmq5 bv4 ~level:Pipeline.OneQOptCN in
   Alcotest.(check int) "three readouts" 3 (List.length r.Pipeline.readout_map);
   List.iter
     (fun (p, h) ->
@@ -538,7 +538,7 @@ let test_pipeline_readout_map () =
 let test_pipeline_rejects_oversize () =
   let big = circuit 6 [ G.One (G.H, 5) ] in
   Alcotest.(check bool) "6q on 5q machine" true
-    (try ignore (Pipeline.compile Machines.ibmq5 big ~level:Pipeline.N); false
+    (try ignore (Pipeline.compile_level Machines.ibmq5 big ~level:Pipeline.N); false
      with Invalid_argument _ -> true)
 
 let test_pipeline_level_names () =
@@ -568,7 +568,7 @@ let test_pipeline_level_names () =
    unitary comparison on the hardware circuit restricted to used qubits. *)
 let test_pipeline_semantics_small () =
   let machine = Machines.agave in
-  let r = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptCN in
   let hw, mapping = Circuit.compact (Circuit.body r.Pipeline.hardware) in
   (* Build expected: program body mapped through placement and compaction. *)
   let place p = List.assoc r.Pipeline.final_placement.(p) mapping in
@@ -578,7 +578,7 @@ let test_pipeline_semantics_small () =
   Alcotest.(check bool) "compact <= 4 qubits" true (hw.Circuit.n_qubits <= 4)
 
 let test_pipeline_pass_timings () =
-  let r = Pipeline.compile Machines.ibmq14 bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level Machines.ibmq14 bv4 ~level:Pipeline.OneQOptCN in
   let names = List.map fst r.Pipeline.pass_times_s in
   Alcotest.(check (list string)) "pass order"
     [
@@ -598,7 +598,7 @@ let test_pipeline_pass_timings () =
 let test_error_budget_multiplies_to_esp () =
   List.iter
     (fun machine ->
-      let r = Pipeline.compile machine bv4 ~level:Pipeline.OneQOptCN in
+      let r = Pipeline.compile_level machine bv4 ~level:Pipeline.OneQOptCN in
       let budget = Triq.Compiled.budget_of (Pipeline.to_compiled r) in
       let product =
         budget.Triq.Compiled.two_q *. budget.Triq.Compiled.one_q
@@ -611,7 +611,7 @@ let test_error_budget_multiplies_to_esp () =
 let test_error_budget_two_q_dominates () =
   (* On superconducting machines, 2Q gates are the dominant loss for BV4
      (the paper's "2Q and RO operations dominate error rates"). *)
-  let r = Pipeline.compile Machines.ibmq14 bv4 ~level:Pipeline.OneQOptCN in
+  let r = Pipeline.compile_level Machines.ibmq14 bv4 ~level:Pipeline.OneQOptCN in
   let b = Triq.Compiled.budget_of (Pipeline.to_compiled r) in
   Alcotest.(check bool) "2q loss largest" true
     (b.Triq.Compiled.two_q < b.Triq.Compiled.one_q);
