@@ -108,6 +108,24 @@ let timing_tests =
     staged "ablation:lookahead-routing" (fun () ->
         ignore (E.ablation_lookahead_data ~trajectories:quick_traj ()));
   ]
+  (* Dataflow static-analysis stages: the four-domain analyzer on its own,
+     then the deep translation-validation overhead at each level
+     (bv6@IBMQ14, same workload as the per-pass breakdown). *)
+  @ (let open Bechamel in
+     let staged name f = Test.make ~name (Staged.stage f) in
+     let bv6 = (Bench_kit.Programs.bv 6).Bench_kit.Programs.circuit in
+     let deep = Triq.Pass.Config.make ~validate:Triq.Pass.Config.Deep () in
+     staged "dataflow:analyze" (fun () -> ignore (Dataflow.Analyze.summarize bv6))
+     :: List.map
+          (fun level ->
+            staged
+              (Printf.sprintf "dataflow:validate-%s"
+                 (Triq.Pipeline.level_name level))
+              (fun () ->
+                ignore
+                  (Triq.Pipeline.compile_level ~config:deep
+                     Device.Machines.ibmq14 bv6 ~level)))
+          Triq.Pipeline.all_levels)
 
 let collect_timings () =
   let open Bechamel in

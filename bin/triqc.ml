@@ -4,6 +4,9 @@
      compile   Scaffold source -> vendor executable (OpenQASM/Quil/TI asm)
      simulate  compile, then run on the noisy device model
      lint      static checks: Scaffold source lints + compile-time validation
+               (--deep adds dataflow lints and translation validation)
+     check     dataflow analysis: Clifford/liveness/entanglement/phase facts
+               + per-pass translation validation against a machine
      passes    list the registered compiler passes and level schedules
      machines  list the supported machines
      info      describe one machine (topology + calibration snapshot)
@@ -57,6 +60,16 @@ let find_router name =
     Error
       (Printf.sprintf "unknown router %S (valid: %s)" name
          (String.concat ", " Triq.Pass.Config.router_names))
+
+let find_validation = function
+  | None -> Ok Triq.Pass.Config.Off
+  | Some name ->
+    (match Triq.Pass.Config.validation_of_string name with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (Printf.sprintf "unknown validation mode %S (valid: %s)" name
+           (String.concat ", " Triq.Pass.Config.validation_names)))
 
 (* The level's named schedule, possibly edited by --passes/--disable-pass. *)
 let build_schedule ~config ~level passes disabled =
@@ -225,9 +238,14 @@ let compile_cmd =
   in
   let validate_arg =
     Arg.(
-      value & flag
-      & info [ "validate" ]
-          ~doc:"Arm the pass-invariant validator during compilation.")
+      value
+      & opt ~vopt:(Some "shape") (some string) None
+      & info [ "validate" ] ~docv:"MODE"
+          ~doc:
+            "Arm the pass-invariant validator during compilation: 'shape' \
+             (structural rules; the default when --validate is given without a \
+             value) or 'deep' (adds dataflow translation validation: readout \
+             liveness and Clifford tableau equivalence after every pass).")
   in
   let passes_arg =
     let doc =
@@ -247,6 +265,7 @@ let compile_cmd =
     let result =
       let* machine, level, program = compile_common file machine_name level_name in
       let* router = find_router router_name in
+      let* validate = find_validation validate in
       let config = Triq.Pass.Config.make ~day ~router ~peephole ~validate () in
       let* schedule = build_schedule ~config ~level passes disabled in
       Ok
@@ -651,7 +670,17 @@ let lint_cmd =
             "Emit one JSON envelope {ok, command, data} with all diagnostics \
              instead of text.")
   in
-  let run file machine_spec level_name day all_levels json =
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Add the dataflow lints (dead.gate, opt.missed) on the program, \
+             and (with -m) upgrade the pass validator to deep translation \
+             validation (live.mismatch, clifford.mismatch). 'triqc check' is \
+             the analysis-first view of the same engine.")
+  in
+  let run file machine_spec level_name day all_levels deep json =
     let ( let* ) = Result.bind in
     let result =
       (* Source-level lints (Scaffold only; QASM input skips straight to the
@@ -661,6 +690,13 @@ let lint_cmd =
         else
           try Ok (Analysis.Scaffold_lint.lint_file file)
           with Sys_error msg -> Error msg
+      in
+      (* Dataflow lints over the program itself (--deep, any input kind). *)
+      let* dataflow_diags =
+        if (not deep) || Analysis.Diag.has_errors source_diags then Ok []
+        else
+          let* program = load_program file in
+          Ok (Dataflow.Analyze.lints ~layer:"dataflow" program.Scaffold.Lower.circuit)
       in
       (* Compile-time validation, only when a target is named and the source
          itself is not already broken. *)
@@ -682,11 +718,14 @@ let lint_cmd =
                    (Device.Machine.n_qubits machine))
           in
           let levels = if all_levels then Triq.Pipeline.all_levels else [ level ] in
+          let validate =
+            if deep then Triq.Pass.Config.Deep else Triq.Pass.Config.Shape
+          in
           Ok
             (List.concat_map
                (fun level ->
                  match
-                   compile_at ~config:(Triq.Pass.Config.make ~day ~validate:true ())
+                   compile_at ~config:(Triq.Pass.Config.make ~day ~validate ())
                      machine level program.Scaffold.Lower.circuit
                  with
                  | compiled ->
@@ -695,7 +734,9 @@ let lint_cmd =
                  | exception Analysis.Diag.Violation (_, diags) -> diags)
                levels)
       in
-      Ok (List.sort_uniq Analysis.Diag.compare (source_diags @ compile_diags))
+      Ok
+        (List.sort_uniq Analysis.Diag.compare
+           (source_diags @ dataflow_diags @ compile_diags))
     in
     match result with
     | Error msg ->
@@ -727,10 +768,141 @@ let lint_cmd =
   let doc =
     "Run the static checks: Scaffold source lints, plus (with -m) a full \
      compilation under the pass-invariant validator and a structural audit of \
-     the resulting executable. Exits 1 if any error-severity diagnostic fires."
+     the resulting executable. --deep adds the dataflow lints and per-pass \
+     translation validation (see also 'triqc check'). Exits 1 if any \
+     error-severity diagnostic fires."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ file_arg $ machine_opt $ level_arg $ day_arg $ all_levels_arg
+      $ deep_arg $ json_arg)
+
+(* triqc check: the analysis-first face of lib/dataflow. Always reports
+   the four abstract-domain summaries over the program; with -m it also
+   recompiles under deep validation and reports, per level, whether
+   every pass preserved readout liveness and (for Clifford programs)
+   the stabilizer state. *)
+let check_cmd =
+  let machine_opt =
+    let doc =
+      "Compile for MACHINE (built-in name or JSON description) with deep \
+       translation validation armed, reporting per-level results."
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+  in
+  let all_levels_arg =
+    Arg.(
+      value & flag
+      & info [ "all-levels" ]
+          ~doc:"With -m, validate every optimization level instead of just -O.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON envelope {ok, command, data} with the analysis \
+             summary, validation results and diagnostics instead of text.")
+  in
+  let run file machine_spec level_name day all_levels json =
+    let ( let* ) = Result.bind in
+    let result =
+      let* program = load_program file in
+      let circuit = program.Scaffold.Lower.circuit in
+      let summary = Dataflow.Analyze.summarize circuit in
+      let lints = Dataflow.Analyze.lints ~layer:"dataflow" circuit in
+      let* validation =
+        match machine_spec with
+        | None -> Ok []
+        | Some spec ->
+          let* machine = find_machine spec in
+          let* level = find_level level_name in
+          let* () =
+            if Device.Machine.fits machine circuit then Ok ()
+            else
+              Error
+                (Printf.sprintf "program needs %d qubits; %s has %d"
+                   circuit.Ir.Circuit.n_qubits machine.Device.Machine.name
+                   (Device.Machine.n_qubits machine))
+          in
+          let levels = if all_levels then Triq.Pipeline.all_levels else [ level ] in
+          let config = Triq.Pass.Config.make ~day ~validate:Triq.Pass.Config.Deep () in
+          Ok
+            (List.map
+               (fun level ->
+                 match compile_at ~config machine level circuit with
+                 | compiled ->
+                   ( Triq.Pipeline.level_name level,
+                     List.length compiled.Triq.Pipeline.pass_times_s,
+                     [] )
+                 | exception Analysis.Diag.Violation (pass, diags) ->
+                   (Triq.Pipeline.level_name level, 0, List.map (fun d -> (pass, d)) diags))
+               levels)
+      in
+      Ok (summary, lints, validation)
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "triqc: %s\n" msg;
+      2
+    | Ok (summary, lints, validation) ->
+      let validation_diags = List.concat_map (fun (_, _, ds) -> List.map snd ds) validation in
+      let diags = List.sort_uniq Analysis.Diag.compare (lints @ validation_diags) in
+      let errors = Analysis.Diag.error_count diags in
+      let findings = List.length diags - errors in
+      if json then
+        Obs.Output.print ~ok:(errors = 0) ~command:"check"
+          (Obs.Json.Obj
+             [
+               ("file", Obs.Json.Str file);
+               ("analysis", Dataflow.Analyze.summary_json summary);
+               ( "validation",
+                 Obs.Json.List
+                   (List.map
+                      (fun (level, passes, ds) ->
+                        Obs.Json.Obj
+                          [
+                            ("level", Obs.Json.Str level);
+                            ("ok", Obs.Json.Bool (ds = []));
+                            ("passes", Obs.Json.Int passes);
+                            ("violations", Obs.Json.Int (List.length ds));
+                          ])
+                      validation) );
+               ( "diagnostics",
+                 Obs.Json.List
+                   (List.map (fun d -> Obs.Json.Raw (Analysis.Diag.to_json d)) diags)
+               );
+               ("errors", Obs.Json.Int errors);
+               ("findings", Obs.Json.Int findings);
+             ])
+      else begin
+        Printf.printf "dataflow analysis: %s\n" file;
+        List.iter (fun l -> Printf.printf "  %s\n" l) (Dataflow.Analyze.summary_text summary);
+        if validation <> [] then begin
+          Printf.printf "translation validation (day %d):\n" day;
+          List.iter
+            (fun (level, passes, ds) ->
+              match ds with
+              | [] -> Printf.printf "  %-13s ok (%d passes)\n" level passes
+              | (pass, _) :: _ ->
+                Printf.printf "  %-13s FAIL at pass %s (%d violation(s))\n" level
+                  pass (List.length ds))
+            validation
+        end;
+        List.iter (fun d -> print_endline (Analysis.Diag.render d)) diags;
+        Printf.eprintf "triqc check: %d error(s), %d finding(s)\n" errors findings
+      end;
+      if errors > 0 then 1 else 0
+  in
+  let doc =
+    "Run the semantic dataflow engine over a program: Clifford tableau, \
+     qubit liveness, entanglement partition and phase-merge facts, plus \
+     (with -m) per-pass translation validation of the compiled result. \
+     Exits 1 if any error-severity diagnostic fires."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
     Term.(
       const run $ file_arg $ machine_opt $ level_arg $ day_arg $ all_levels_arg
       $ json_arg)
@@ -941,7 +1113,7 @@ let () =
   let info = Cmd.info "triqc" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; metrics_cmd; bench_cmd; fuzz_cmd ]
+      [ compile_cmd; simulate_cmd; pulse_cmd; sweep_cmd; verify_cmd; lint_cmd; check_cmd; passes_cmd; draw_cmd; convert_cmd; machines_cmd; info_cmd; export_cmd; characterize_cmd; metrics_cmd; bench_cmd; fuzz_cmd ]
   in
   (* Every subcommand compiles, so handle validator violations uniformly
      here rather than per command. *)

@@ -24,6 +24,9 @@ let errorf ~rule ~layer ?loc fmt =
 let warnf ~rule ~layer ?loc fmt =
   Printf.ksprintf (fun message -> make ~severity:Warning ?loc ~rule ~layer message) fmt
 
+let infof ~rule ~layer ?loc fmt =
+  Printf.ksprintf (fun message -> make ~severity:Info ?loc ~rule ~layer message) fmt
+
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
 
 let loc_string = function

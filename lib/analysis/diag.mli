@@ -38,6 +38,10 @@ val errorf :
 val warnf :
   rule:string -> layer:string -> ?loc:loc -> ('a, unit, string, t) format4 -> 'a
 
+(** [infof] is {!errorf} at [Info] severity. *)
+val infof :
+  rule:string -> layer:string -> ?loc:loc -> ('a, unit, string, t) format4 -> 'a
+
 val severity_name : severity -> string
 val loc_string : loc -> string
 

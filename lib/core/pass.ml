@@ -26,20 +26,21 @@ let level_strings =
 
 module Config = struct
   type router = Default | Lookahead
+  type validation = Off | Shape | Deep
 
   type t = {
     day : int;
     node_budget : int option;
     router : router;
     peephole : bool;
-    validate : bool;
+    validate : validation;
   }
 
   let default =
-    { day = 0; node_budget = None; router = Default; peephole = false; validate = false }
+    { day = 0; node_budget = None; router = Default; peephole = false; validate = Off }
 
   let make ?(day = 0) ?node_budget ?(router = Default) ?(peephole = false)
-      ?(validate = false) () =
+      ?(validate = Off) () =
     { day; node_budget; router; peephole; validate }
 
   let router_name = function Default -> "default" | Lookahead -> "lookahead"
@@ -51,6 +52,17 @@ module Config = struct
     | _ -> None
 
   let router_names = [ "default"; "lookahead" ]
+
+  let validation_name = function Off -> "off" | Shape -> "shape" | Deep -> "deep"
+
+  let validation_of_string s =
+    match String.lowercase_ascii s with
+    | "off" -> Some Off
+    | "shape" -> Some Shape
+    | "deep" -> Some Deep
+    | _ -> None
+
+  let validation_names = [ "off"; "shape"; "deep" ]
 end
 
 type state = {
@@ -497,7 +509,20 @@ let run_pass state (p : t) =
       (fun () -> p.run state)
   in
   Obs.Metrics.incr (Obs.Metrics.counter ("triq.pass.runs." ^ p.name));
-  if state.config.Config.validate then guard p.name (p.checks state');
+  (match state.config.Config.validate with
+  | Config.Off -> ()
+  | Config.Shape -> guard p.name (p.checks state')
+  | Config.Deep ->
+      (* Shape rules plus translation validation: the pass's input and
+         output circuits must agree on readout liveness and — when both
+         are recognized Clifford — on their stabilizer tableaux, modulo
+         the placement change the pass made. *)
+      let deep =
+        Dataflow.Validate.check ~layer:p.name ~before:state.circuit
+          ~before_placement:state.final_placement ~after:state'.circuit
+          ~after_placement:state'.final_placement
+      in
+      guard p.name (p.checks state' @ [ deep ]));
   (state', dt)
 
 let run_passes state passes =

@@ -36,6 +36,13 @@ module Config : sig
       router or the {!Router_lookahead} extension. *)
   type router = Default | Lookahead
 
+  (** How much the pass-invariant harness checks after every pass.
+      [Shape] runs each pass's structural rules (the PR-1 harness);
+      [Deep] adds {!Dataflow.Validate} translation validation — readout
+      liveness and, for Clifford circuits, stabilizer-tableau
+      equivalence modulo placement. *)
+  type validation = Off | Shape | Deep
+
   type t = {
     day : int;  (** calibration day to compile against *)
     node_budget : int option;
@@ -44,10 +51,10 @@ module Config : sig
     peephole : bool;
         (** insert the adjacent self-inverse 2Q cancellation pass after
             SWAP expansion (an extension, not part of the paper's flow) *)
-    validate : bool;
-        (** arm the pass-invariant harness: after every pass, run its
-            static checks and raise {!Analysis.Diag.Violation} naming the
-            pass that introduced a violation *)
+    validate : validation;
+        (** arm the pass-invariant harness: after every pass, run the
+            selected checks and raise {!Analysis.Diag.Violation} naming
+            the pass that introduced a violation *)
   }
 
   (** Day 0, default node budget, default router, no peephole, no
@@ -59,7 +66,7 @@ module Config : sig
     ?node_budget:int ->
     ?router:router ->
     ?peephole:bool ->
-    ?validate:bool ->
+    ?validate:validation ->
     unit ->
     t
 
@@ -69,6 +76,13 @@ module Config : sig
   val router_of_string : string -> router option
 
   val router_names : string list
+
+  val validation_name : validation -> string
+
+  (** Case-insensitive; ["off"], ["shape"] or ["deep"]. *)
+  val validation_of_string : string -> validation option
+
+  val validation_names : string list
 end
 
 (** {1 Compilation state}

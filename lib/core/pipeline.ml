@@ -67,6 +67,7 @@ let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
     | `Default -> Pass.Config.Default
     | `Lookahead -> Pass.Config.Lookahead
   in
+  let validate = if validate then Pass.Config.Shape else Pass.Config.Off in
   let config = { Pass.Config.day; node_budget; router; peephole; validate } in
   compile_level ~config machine circuit ~level
 

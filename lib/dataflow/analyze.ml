@@ -1,0 +1,90 @@
+module Diag = Analysis.Diag
+
+type clifford_facts = {
+  is_clifford : bool;
+  prefix_gates : int;
+  body_gates : int;
+}
+
+type summary = {
+  n_qubits : int;
+  used_qubits : int;
+  clifford : clifford_facts;
+  dead : int list;
+  components : int list list;
+  mergeable : (int * int) list;
+}
+
+(* Counters are created at the call site, not at module init: a cold
+   [triqc metrics] run must not see dataflow names it never executed. *)
+let domain name f =
+  Obs.Span.with_span ("dataflow." ^ name) (fun () ->
+      Obs.Metrics.incr (Obs.Metrics.counter ("dataflow." ^ name ^ ".runs"));
+      f ())
+
+let summarize c =
+  let body_gates = Ir.Circuit.gate_count c - Ir.Circuit.measure_count c in
+  let clifford =
+    domain "clifford" (fun () ->
+        let prefix_gates = Tableau.clifford_prefix c in
+        { is_clifford = prefix_gates = body_gates; prefix_gates; body_gates })
+  in
+  let dead = domain "liveness" (fun () -> Liveness.dead_indices c) in
+  let components = domain "entangle" (fun () -> Entangle.components c) in
+  let mergeable = domain "phase" (fun () -> Phase.mergeable c) in
+  {
+    n_qubits = c.Ir.Circuit.n_qubits;
+    used_qubits = List.length (Ir.Circuit.used_qubits c);
+    clifford;
+    dead;
+    components;
+    mergeable;
+  }
+
+let lints ~layer c =
+  let dead = domain "liveness" (fun () -> Liveness.dead_diags ~layer c) in
+  let missed = domain "phase" (fun () -> Phase.diags ~layer c) in
+  List.sort Diag.compare (dead @ missed)
+
+let summary_json s =
+  Obs.Json.Obj
+    [
+      ("n_qubits", Obs.Json.Int s.n_qubits);
+      ("used_qubits", Obs.Json.Int s.used_qubits);
+      ( "clifford",
+        Obs.Json.Obj
+          [
+            ("is_clifford", Obs.Json.Bool s.clifford.is_clifford);
+            ("prefix_gates", Obs.Json.Int s.clifford.prefix_gates);
+            ("body_gates", Obs.Json.Int s.clifford.body_gates);
+          ] );
+      ("dead_gates", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) s.dead));
+      ( "components",
+        Obs.Json.List
+          (List.map
+             (fun qs -> Obs.Json.List (List.map (fun q -> Obs.Json.Int q) qs))
+             s.components) );
+      ( "mergeable",
+        Obs.Json.List
+          (List.map
+             (fun (a, b) -> Obs.Json.List [ Obs.Json.Int a; Obs.Json.Int b ])
+             s.mergeable) );
+    ]
+
+let summary_text s =
+  let component_str qs =
+    "{" ^ String.concat "," (List.map string_of_int qs) ^ "}"
+  in
+  [
+    Printf.sprintf "qubits:       %d declared, %d used" s.n_qubits s.used_qubits;
+    (if s.clifford.is_clifford then
+       Printf.sprintf "clifford:     yes (%d gates)" s.clifford.body_gates
+     else
+       Printf.sprintf "clifford:     no (prefix %d of %d gates)"
+         s.clifford.prefix_gates s.clifford.body_gates);
+    Printf.sprintf "liveness:     %d dead gate(s)" (List.length s.dead);
+    Printf.sprintf "entanglement: %d component(s): %s" (List.length s.components)
+      (String.concat " " (List.map component_str s.components));
+    Printf.sprintf "phase:        %d mergeable rotation pair(s)"
+      (List.length s.mergeable);
+  ]

@@ -1,0 +1,33 @@
+(** Facade over the four abstract domains: one call computes every
+    static fact about a circuit, under [dataflow.*] spans/counters. *)
+
+type clifford_facts = {
+  is_clifford : bool;  (** every body gate has a Clifford action *)
+  prefix_gates : int;  (** maximal Clifford prefix length *)
+  body_gates : int;  (** non-measure gate count *)
+}
+
+type summary = {
+  n_qubits : int;
+  used_qubits : int;
+  clifford : clifford_facts;
+  dead : int list;  (** dead gate positions ({!Liveness.dead_indices}) *)
+  components : int list list;  (** entanglement partition *)
+  mergeable : (int * int) list;  (** statically mergeable rotation pairs *)
+}
+
+(** [summarize c] runs all four domains. Each domain runs under an
+    [Obs] span ([dataflow.clifford], [dataflow.liveness],
+    [dataflow.entangle], [dataflow.phase]) and bumps a
+    [dataflow.<domain>.runs] counter. *)
+val summarize : Ir.Circuit.t -> summary
+
+(** [lints ~layer c] is the diagnostic view: [dead.gate] warnings and
+    [opt.missed] infos, sorted with {!Analysis.Diag.compare}. *)
+val lints : layer:string -> Ir.Circuit.t -> Analysis.Diag.t list
+
+(** JSON rendering of a summary (for the [triqc check] envelope). *)
+val summary_json : summary -> Obs.Json.t
+
+(** Multi-line human rendering of a summary. *)
+val summary_text : summary -> string list

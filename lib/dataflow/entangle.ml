@@ -1,0 +1,25 @@
+(* Union-find with path compression; sizes here are tiny, rank is not
+   worth the bookkeeping. *)
+let components c =
+  let n = c.Ir.Circuit.n_qubits in
+  let parent = Array.init n Fun.id in
+  let rec find q = if parent.(q) = q then q else (parent.(q) <- find parent.(q); parent.(q)) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter
+    (fun g ->
+      match Ir.Gate.qubits g with
+      | [] | [ _ ] -> ()
+      | q0 :: rest -> List.iter (union q0) rest)
+    c.Ir.Circuit.gates;
+  let used = Ir.Circuit.used_qubits c in
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun q ->
+      let r = find q in
+      Hashtbl.replace classes r (q :: (Option.value ~default:[] (Hashtbl.find_opt classes r))))
+    used;
+  Hashtbl.fold (fun _ qs acc -> List.rev qs :: acc) classes []
+  |> List.sort (fun a b -> Stdlib.compare (List.hd a) (List.hd b))

@@ -1,0 +1,14 @@
+(** Entanglement partition domain.
+
+    Union-find over qubits: every multi-qubit gate merges its operands'
+    classes. Qubits in different classes are never coupled by any gate,
+    so the circuit factors into independent subcircuits — the static
+    skeleton for separable simulation and the ROADMAP's resynthesis
+    work. This is an over-approximation: coupled qubits may still end
+    up unentangled (e.g. CNOT; CNOT), but uncoupled qubits are
+    guaranteed separable. *)
+
+(** [components c] partitions the {e used} qubits of [c] into coupling
+    classes: each class sorted ascending, classes ordered by their
+    least element. Unused qubits are omitted. *)
+val components : Ir.Circuit.t -> int list list

@@ -1,0 +1,38 @@
+module Diag = Analysis.Diag
+
+let live c =
+  let n = c.Ir.Circuit.n_qubits in
+  let gates = Array.of_list c.Ir.Circuit.gates in
+  let m = Array.length gates in
+  let live_q = Array.make n false in
+  let live_g = Array.make m false in
+  for i = m - 1 downto 0 do
+    match gates.(i) with
+    | Ir.Gate.Measure q ->
+        live_g.(i) <- true;
+        live_q.(q) <- true
+    | g ->
+        let qs = Ir.Gate.qubits g in
+        if List.exists (fun q -> live_q.(q)) qs then begin
+          live_g.(i) <- true;
+          List.iter (fun q -> live_q.(q) <- true) qs
+        end
+  done;
+  live_g
+
+let dead_indices c =
+  if Ir.Circuit.measure_count c = 0 then []
+  else
+    let flags = live c in
+    let acc = ref [] in
+    Array.iteri (fun i l -> if not l then acc := i :: !acc) flags;
+    List.rev !acc
+
+let dead_diags ~layer c =
+  let gates = Array.of_list c.Ir.Circuit.gates in
+  List.map
+    (fun i ->
+      Diag.warnf ~rule:"dead.gate" ~layer ~loc:(Diag.Gate i)
+        "%s cannot influence any measured outcome"
+        (Ir.Gate.to_string gates.(i)))
+    (dead_indices c)

@@ -1,0 +1,24 @@
+(** Backward qubit liveness from measurements.
+
+    A gate is {e live} when it can influence some measured outcome:
+    walking the gate list backward, the live qubit set is seeded by
+    [Measure] operations, every gate touching a live qubit is live, and
+    a live gate makes all its operands live (quantum gates have no
+    one-way dataflow — any operand can carry influence to any other).
+    Removing the dead gates preserves the output distribution over the
+    measured qubits exactly. *)
+
+(** [live c] is a per-gate flag array (index = position in
+    [c.gates]). [Measure] gates are always live. A circuit with no
+    measurements has every non-measure gate dead in the literal sense;
+    see {!dead_indices} for the lint-facing view. *)
+val live : Ir.Circuit.t -> bool array
+
+(** [dead_indices c] lists the dead gate positions, except that a
+    circuit with no measurements reports [] — every gate is trivially
+    dead there and flagging them all would be noise. *)
+val dead_indices : Ir.Circuit.t -> int list
+
+(** [dead_diags ~layer c] renders {!dead_indices} as [dead.gate]
+    warnings. *)
+val dead_diags : layer:string -> Ir.Circuit.t -> Analysis.Diag.t list

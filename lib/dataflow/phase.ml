@@ -1,0 +1,45 @@
+module Diag = Analysis.Diag
+
+let is_diagonal_rotation (g : Ir.Gate.one_q) =
+  match g with
+  | Z | S | Sdg | T | Tdg | Rz _ | U1 _ -> true
+  | _ -> false
+
+let mergeable c =
+  let n = c.Ir.Circuit.n_qubits in
+  (* pending.(q) = index of a diagonal rotation whose effect still sits
+     on qubit q's Z axis undisturbed. *)
+  let pending = Array.make n None in
+  let pairs = ref [] in
+  List.iteri
+    (fun idx g ->
+      match g with
+      | Ir.Gate.One (og, q) when is_diagonal_rotation og ->
+          (match pending.(q) with
+          | Some earlier -> pairs := (earlier, idx) :: !pairs
+          | None -> ());
+          pending.(q) <- Some idx
+      | Ir.Gate.One (_, q) -> pending.(q) <- None
+      | Ir.Gate.Two (Cz, _, _) -> () (* diagonal: transparent on both *)
+      | Ir.Gate.Two (Cnot, _, target) -> pending.(target) <- None
+      | Ir.Gate.Two (_, a, b) ->
+          pending.(a) <- None;
+          pending.(b) <- None
+      | Ir.Gate.Ccx (_, _, target) -> pending.(target) <- None
+      | Ir.Gate.Cswap (_, t1, t2) ->
+          pending.(t1) <- None;
+          pending.(t2) <- None
+      | Ir.Gate.Measure q -> pending.(q) <- None)
+    c.Ir.Circuit.gates;
+  List.rev !pairs
+
+let diags ~layer c =
+  let gates = Array.of_list c.Ir.Circuit.gates in
+  List.map
+    (fun (earlier, later) ->
+      Diag.infof ~rule:"opt.missed" ~layer ~loc:(Diag.Gate later)
+        "%s is statically mergeable with %s at gate %d"
+        (Ir.Gate.to_string gates.(later))
+        (Ir.Gate.to_string gates.(earlier))
+        earlier)
+    (mergeable c)

@@ -1,0 +1,18 @@
+(** Diagonal-phase constant propagation.
+
+    Tracks, per qubit, a pending diagonal one-qubit rotation (Z, S,
+    Sdg, T, Tdg, Rz, U1). A later diagonal rotation on the same qubit
+    is statically mergeable with the pending one when every gate in
+    between is {e diagonal-transparent} on that qubit — it commutes
+    with Z there: CZ on either operand, CNOT on its control, Toffoli
+    on its controls, Fredkin on its control, and nothing else. Any
+    other intervening gate (including CNOT targets and measures)
+    clears the pending rotation. *)
+
+(** [mergeable c] lists [(earlier, later)] gate-position pairs of
+    adjacent-up-to-transparency diagonal rotations. Chains report each
+    consecutive pair once: [Rz; Rz; Rz] yields [(0,1); (1,2)]. *)
+val mergeable : Ir.Circuit.t -> (int * int) list
+
+(** [diags ~layer c] renders {!mergeable} as [opt.missed] info lints. *)
+val diags : layer:string -> Ir.Circuit.t -> Analysis.Diag.t list

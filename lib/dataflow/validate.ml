@@ -1,0 +1,98 @@
+module Diag = Analysis.Diag
+
+let counter name = Obs.Metrics.incr (Obs.Metrics.counter ("dataflow.validate." ^ name))
+
+(* Wire map from before-circuit wires to after-circuit wires: program
+   qubit [p] sits on wire [fb.(p)] before and [fa.(p)] after. Unmapped
+   wires are -1; when the placement is unchanged the map extends to the
+   identity (pure gate rewrites move nothing). *)
+let wire_map ~n_before ~n_after fb fa =
+  let map = Array.make n_before (-1) in
+  let consistent = ref true in
+  Array.iteri
+    (fun p qb ->
+      let qa = fa.(p) in
+      if qb >= 0 && qb < n_before && qa >= 0 && qa < n_after then
+        if map.(qb) = -1 then map.(qb) <- qa
+        else if map.(qb) <> qa then consistent := false)
+    fb;
+  let unchanged = n_before = n_after && fb = fa in
+  if unchanged then
+    Array.iteri (fun q img -> if img = -1 then map.(q) <- q) map;
+  (map, !consistent)
+
+let is_total_injection ~n_after map =
+  let seen = Array.make n_after false in
+  Array.for_all
+    (fun img ->
+      img >= 0 && img < n_after
+      && (not seen.(img))
+      && (seen.(img) <- true;
+          true))
+    map
+
+let check ~layer ~before ~before_placement ~after ~after_placement =
+  Obs.Span.with_span "dataflow.validate" (fun () ->
+      counter "checks";
+      let n_b = before.Ir.Circuit.n_qubits
+      and n_a = after.Ir.Circuit.n_qubits in
+      if Array.length before_placement <> Array.length after_placement then []
+      else begin
+        let map, consistent =
+          wire_map ~n_before:n_b ~n_after:n_a before_placement after_placement
+        in
+        let diags = ref [] in
+        let emit d = diags := d :: !diags in
+        (* Liveness of readout. *)
+        let mc_b = Ir.Circuit.measure_count before
+        and mc_a = Ir.Circuit.measure_count after in
+        if mc_b <> mc_a then
+          emit
+            (Diag.errorf ~rule:"live.mismatch" ~layer
+               "measure count changed across the pass (%d -> %d)" mc_b mc_a);
+        let measured_b = Ir.Circuit.measured_qubits before in
+        let expected =
+          List.filter_map
+            (fun q ->
+              if q < Array.length map && map.(q) >= 0 then Some map.(q)
+              else begin
+                emit
+                  (Diag.errorf ~rule:"live.mismatch" ~layer ~loc:(Diag.Qubit q)
+                     "measured wire q%d has no image under the placement change"
+                     q);
+                None
+              end)
+            measured_b
+          |> List.sort_uniq Stdlib.compare
+        in
+        let actual = Ir.Circuit.measured_qubits after in
+        if mc_b = mc_a && List.length expected = List.length measured_b
+           && expected <> actual
+        then
+          emit
+            (Diag.errorf ~rule:"live.mismatch" ~layer
+               "measured wires changed across the pass ({%s} expected, {%s} found)"
+               (String.concat "," (List.map string_of_int expected))
+               (String.concat "," (List.map string_of_int actual)));
+        (* Clifford tableau equivalence. *)
+        if consistent && n_a >= n_b && is_total_injection ~n_after:n_a map then (
+          match (Tableau.of_circuit before, Tableau.of_circuit after) with
+          | Some tb, Some ta ->
+              counter "clifford.compared";
+              let tb' = Tableau.embed tb ~n:n_a ~map in
+              (* Equality modulo dephasing on the wires about to be read
+                 out: diagonal phases there are unobservable, and the
+                 oneq coalescer legally drops them. *)
+              let measured = Ir.Circuit.measured_qubits after in
+              if not (Tableau.measurement_equal tb' ta ~measured) then
+                emit
+                  (Diag.errorf ~rule:"clifford.mismatch" ~layer
+                     "stabilizer state not preserved: %s"
+                     (Option.value ~default:"tableaux differ"
+                        (Tableau.first_difference ~measured tb' ta)))
+          | _ -> counter "clifford.skipped")
+        else counter "clifford.skipped";
+        let result = List.sort Diag.compare !diags in
+        if result <> [] then counter "violations";
+        result
+      end)

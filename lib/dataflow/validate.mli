@@ -1,0 +1,38 @@
+(** Per-pass translation validation: static semantic checks between a
+    pass's input and output circuits.
+
+    The pipeline invariant this leans on: at every pass boundary,
+    program qubit [p] occupies wire [placement.(p)] of the current
+    circuit (the identity before mapping, the routed placement after).
+    Two checks run:
+
+    - {b Liveness} ([live.mismatch]): the measure count is preserved
+      and the measured wires correspond through the placement change.
+      This is deliberately weaker than gate-level liveness equality —
+      peephole passes may legally delete net-identity rotations — but
+      it catches dropped/duplicated/misrouted readout statically.
+
+    - {b Clifford equivalence} ([clifford.mismatch]): when both sides
+      are recognized Clifford, the before-tableau embedded through the
+      placement map must match the after-tableau under
+      {!Tableau.measurement_equal} — exact state equality modulo
+      diagonal phases on the wires about to be read out (which the
+      oneq coalescer legally drops). Wires of the larger space outside
+      the map's image must sit in |0> — exactly the ancilla discipline
+      routing promises. Non-Clifford circuits and placement maps that
+      are not total injections skip this check (sound: validation
+      never errs on circuits it cannot model).
+
+    No simulation is involved; cost is polynomial in qubits x gates. *)
+
+(** [check ~layer ~before ~before_placement ~after ~after_placement]
+    returns translation-validation errors attributed to [layer] (the
+    pass name). Empty when the pass is semantics-preserving as far as
+    the domains can see. *)
+val check :
+  layer:string ->
+  before:Ir.Circuit.t ->
+  before_placement:int array ->
+  after:Ir.Circuit.t ->
+  after_placement:int array ->
+  Analysis.Diag.t list

@@ -134,6 +134,108 @@ let check_semantic c =
     end
   end
 
+(* ---------- dataflow ---------- *)
+
+let pauli_x_matrix =
+  Mathkit.Matrix.of_rows
+    [ [ Mathkit.Cplx.zero; Mathkit.Cplx.one ]; [ Mathkit.Cplx.one; Mathkit.Cplx.zero ] ]
+
+let pauli_z_matrix =
+  Mathkit.Matrix.of_rows
+    [ [ Mathkit.Cplx.one; Mathkit.Cplx.zero ];
+      [ Mathkit.Cplx.zero; Mathkit.Cplx.re (-1.0) ] ]
+
+let check_dataflow c =
+  let n = c.Circuit.n_qubits in
+  if n > 6 then Ok () (* vacuous: statevector oracle would be too large *)
+  else begin
+    (* Static liveness vs dynamics: deleting every [dead.gate] must leave
+       the measured-outcome distribution untouched. *)
+    let dead = Dataflow.Liveness.dead_indices c in
+    let dead_result =
+      if dead = [] then Ok ()
+      else begin
+        let measured = Circuit.measured_qubits c in
+        let kept =
+          List.filteri (fun i _ -> not (List.mem i dead)) c.Circuit.gates
+        in
+        let pruned = Circuit.create n kept in
+        let d_full = Sim.Runner.ideal_distribution c ~measured in
+        let d_pruned = Sim.Runner.ideal_distribution pruned ~measured in
+        let lookup d k = Option.value ~default:0.0 (List.assoc_opt k d) in
+        let keys =
+          List.sort_uniq Stdlib.compare
+            (List.map fst d_full @ List.map fst d_pruned)
+        in
+        let l1 =
+          List.fold_left
+            (fun acc k -> acc +. Float.abs (lookup d_full k -. lookup d_pruned k))
+            0.0 keys
+        in
+        if l1 <= 1e-9 then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "removing %d statically-dead gate(s) changed the measured \
+                distribution: L1 distance %.3e (> 1e-9)"
+               (List.length dead) l1)
+      end
+    in
+    match dead_result with
+    | Error _ -> dead_result
+    | Ok () -> (
+      (* Static tableau vs dynamics: every generator the Clifford domain
+         reports must stabilize the simulated state, i.e.
+         <psi|P|psi> = 1 for P = i^e * prod X^x Z^z. *)
+      let body = Circuit.body c in
+      match Dataflow.Tableau.of_circuit body with
+      | None -> Ok ()
+      | Some t ->
+        let sv = Sim.Statevector.run body in
+        let dim = 1 lsl n in
+        let check_gen ((e, x, z) : Dataflow.Tableau.generator) =
+          let phi = Sim.Statevector.copy sv in
+          for q = 0 to n - 1 do
+            (* X-before-Z operator order: Z hits the state first. *)
+            if z.(q) then Sim.Statevector.apply_one phi pauli_z_matrix q;
+            if x.(q) then Sim.Statevector.apply_one phi pauli_x_matrix q
+          done;
+          let inner = ref Mathkit.Cplx.zero in
+          for i = 0 to dim - 1 do
+            inner :=
+              Mathkit.Cplx.add !inner
+                (Mathkit.Cplx.mul
+                   (Mathkit.Cplx.conj (Sim.Statevector.amplitude sv i))
+                   (Sim.Statevector.amplitude phi i))
+          done;
+          (* P|psi> = |psi> requires <psi|(XZ..)|psi> = i^{-e}. *)
+          let expected =
+            match e land 3 with
+            | 0 -> Mathkit.Cplx.one
+            | 1 -> Mathkit.Cplx.make 0.0 (-1.0)
+            | 2 -> Mathkit.Cplx.re (-1.0)
+            | _ -> Mathkit.Cplx.i
+          in
+          if Mathkit.Cplx.approx ~eps:1e-6 !inner expected then None
+          else
+            Some
+              (Printf.sprintf
+                 "tableau generator %s does not stabilize the simulated \
+                  state: expected <psi|XZ..|psi> = %s, got %s"
+                 (Dataflow.Tableau.generator_to_string (e, x, z))
+                 (Mathkit.Cplx.to_string expected)
+                 (Mathkit.Cplx.to_string !inner))
+        in
+        let rec first_failure = function
+          | [] -> Ok ()
+          | g :: rest -> (
+            match check_gen g with
+            | Some msg -> Error msg
+            | None -> first_failure rest)
+        in
+        first_failure (Dataflow.Tableau.generators t))
+  end
+
 (* ---------- schedule ---------- *)
 
 let check_schedule ~machine ~level ~router ~peephole ~day c =
@@ -302,6 +404,15 @@ let semantic_spec : Circuit.t Harness.spec =
     prop = check_semantic;
   }
 
+let dataflow_spec : Circuit.t Harness.spec =
+  {
+    Harness.name = "dataflow";
+    gen = Gen.circuit ~max_qubits:6 ~max_gates:20;
+    shrink = Shrink.circuit;
+    show = show_circuit;
+    prop = check_dataflow;
+  }
+
 let schedule_shrink (c : schedule_case) =
   let configs =
     (if c.sc_peephole then [ { c with sc_peephole = false } ] else [])
@@ -383,6 +494,8 @@ let catalog =
   [
     ("roundtrip", "emit -> parse reproduces the circuit for all three vendors");
     ("semantic", "statevector and density simulators agree on ideal outputs");
+    ( "dataflow",
+      "static dead-gate and Clifford-tableau facts agree with simulation" );
     ("schedule", "every level and router/peephole ablation preserves semantics");
     ("determinism", "Sim.Runner outcomes identical across -j 1/2/8");
   ]
@@ -444,6 +557,11 @@ let run ~seed ~cases name =
       (run_spec ~seed ~cases semantic_spec ~repro:(fun c ->
            Repro.alcotest_case ~oracle:"semantic"
              ~check_expr:"Proptest.Oracle.check_semantic circuit" c))
+  | "dataflow" ->
+    Ok
+      (run_spec ~seed ~cases dataflow_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"dataflow"
+             ~check_expr:"Proptest.Oracle.check_dataflow circuit" c))
   | "schedule" ->
     Ok
       (run_spec ~seed ~cases schedule_spec ~repro:(fun c ->

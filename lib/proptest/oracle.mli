@@ -43,6 +43,14 @@ val check_roundtrip : vendor -> Ir.Circuit.t -> (unit, string) result
     [c]'s measure-free body. Vacuous for circuits over 6 qubits. *)
 val check_semantic : Ir.Circuit.t -> (unit, string) result
 
+(** [check_dataflow c] cross-validates the static dataflow domains
+    against the simulator: deleting every gate {!Dataflow.Liveness}
+    reports dead must leave the measured-outcome distribution untouched,
+    and when {!Dataflow.Tableau} models [c]'s body as Clifford, each
+    reported stabilizer generator must satisfy [<psi|P|psi> = 1] on the
+    simulated statevector. Vacuous over 6 qubits. *)
+val check_dataflow : Ir.Circuit.t -> (unit, string) result
+
 (** [check_schedule ~machine ~level ~router ~peephole ~day c] compiles
     [c] under the given schedule/ablation and verifies the executable's
     noiseless semantics against the source program. Vacuous if [c] does
@@ -72,7 +80,7 @@ val check_determinism :
 (** {1 Running oracles} *)
 
 (** Canonical (name, description) rows, in catalog order:
-    ["roundtrip"; "semantic"; "schedule"; "determinism"]. *)
+    ["roundtrip"; "semantic"; "dataflow"; "schedule"; "determinism"]. *)
 val catalog : (string * string) list
 
 type failure_report = {

@@ -63,6 +63,65 @@ let test_diag_order () =
   Alcotest.(check bool) "error first" true (Diag.compare e w < 0);
   Alcotest.(check int) "errors counted" 1 (Diag.error_count [ e; w ])
 
+let test_diag_severity_rank () =
+  let e = Diag.errorf ~rule:"z.rule" ~layer:"l" "e" in
+  let w = Diag.warnf ~rule:"m.rule" ~layer:"l" "w" in
+  let i = Diag.infof ~rule:"a.rule" ~layer:"l" "i" in
+  (* Severity dominates rule id: error < warning < info. *)
+  let sorted = List.sort Diag.compare [ i; w; e ] in
+  Alcotest.(check (list string)) "severity-major order"
+    [ "error"; "warning"; "info" ]
+    (List.map (fun d -> Diag.severity_name d.Diag.severity) sorted);
+  (* Within a severity and rule, location breaks the tie deterministically. *)
+  let at l = Diag.errorf ~rule:"r" ~layer:"l" ~loc:l "m" in
+  let locs =
+    [ Diag.Pair (0, 1); Diag.Qubit 2; Diag.Gate 9; Diag.Gate 1; Diag.Line 4;
+      Diag.Nowhere ]
+  in
+  Alcotest.(check (list string)) "loc tiebreak"
+    [ ""; "line 4"; "gate 1"; "gate 9"; "q2"; "q0-q1" ]
+    (List.map
+       (fun d -> Diag.loc_string d.Diag.loc)
+       (List.sort Diag.compare (List.map at locs)));
+  Alcotest.(check bool) "info is not an error" false (Diag.has_errors [ i; w ])
+
+let test_diag_loc_string () =
+  List.iter
+    (fun (loc, want) ->
+      Alcotest.(check string) ("loc_string " ^ want) want (Diag.loc_string loc))
+    [
+      (Diag.Nowhere, "");
+      (Diag.Line 7, "line 7");
+      (Diag.Gate 0, "gate 0");
+      (Diag.Qubit 13, "q13");
+      (Diag.Pair (2, 5), "q2-q5");
+    ]
+
+let test_diag_json_escaping () =
+  let d =
+    Diag.make ~severity:Diag.Warning ~rule:"x.y" ~layer:"l"
+      "quote \" slash \\ newline \n tab \t bell \007"
+  in
+  Alcotest.(check string) "escaped json"
+    ("{\"severity\":\"warning\",\"rule\":\"x.y\",\"layer\":\"l\",\"loc\":null,"
+    ^ "\"message\":\"quote \\\" slash \\\\ newline \\n tab \\t bell \\u0007\"}")
+    (Diag.to_json d)
+
+let test_diag_violation_message () =
+  let ds =
+    [
+      Diag.errorf ~rule:"circuit.bounds" ~layer:"evil" ~loc:(Diag.Gate 3)
+        "qubit 9 out of range";
+      Diag.warnf ~rule:"gate.set" ~layer:"evil" "H not in basis";
+    ]
+  in
+  Alcotest.(check string) "violation message"
+    ("pass \"evil\" violated 2 invariant(s):\n\
+      \  error[circuit.bounds] evil @ gate 3: qubit 9 out of range\n\
+      \  warning[gate.set] evil: H not in basis"
+    )
+    (Diag.violation_message "evil" ds)
+
 (* ---------- Circuit-shape rules, one broken fixture each ---------- *)
 
 let test_rule_bounds () =
@@ -255,7 +314,7 @@ let matrix_configs =
   let open Triq.Pass.Config in
   List.map
     (fun (peephole, router) ->
-      { default with peephole; router; validate = true; node_budget = Some 20_000 })
+      { default with peephole; router; validate = Triq.Pass.Config.Shape; node_budget = Some 20_000 })
     [ (false, Default); (true, Default); (false, Lookahead); (true, Lookahead) ]
 
 let test_validated_matrix () =
@@ -269,7 +328,7 @@ let test_validated_matrix () =
             List.iter
               (fun level ->
                 let config =
-                  Triq.Pass.Config.make ~node_budget:20_000 ~validate:true ()
+                  Triq.Pass.Config.make ~node_budget:20_000 ~validate:Triq.Pass.Config.Shape ()
                 in
                 let r =
                   Pipeline.compile_schedule ~config machine p.Programs.circuit
@@ -319,7 +378,7 @@ let test_static_clean_implies_verified () =
           if Device.Machine.fits machine p.Programs.circuit then begin
             let measured = Circuit.measured_qubits p.Programs.circuit in
             let r =
-              Pipeline.compile_level ~config:(Triq.Pass.Config.make ~validate:true ())
+              Pipeline.compile_level ~config:(Triq.Pass.Config.make ~validate:Triq.Pass.Config.Shape ())
                 machine p.Programs.circuit
                 ~level:Pipeline.OneQOptCN
             in
@@ -361,6 +420,10 @@ let () =
           Alcotest.test_case "render" `Quick test_diag_render;
           Alcotest.test_case "json" `Quick test_diag_json;
           Alcotest.test_case "ordering" `Quick test_diag_order;
+          Alcotest.test_case "severity rank" `Quick test_diag_severity_rank;
+          Alcotest.test_case "loc_string" `Quick test_diag_loc_string;
+          Alcotest.test_case "json escaping" `Quick test_diag_json_escaping;
+          Alcotest.test_case "violation message" `Quick test_diag_violation_message;
         ] );
       ( "rules",
         [

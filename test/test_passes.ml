@@ -165,7 +165,7 @@ let test_violation_names_pass () =
   in
   let schedule = Schedule.of_level Pipeline.OneQOptCN in
   let schedule = { schedule with Schedule.passes = schedule.Schedule.passes @ [ evil ] } in
-  let config = { Config.default with Config.validate = true } in
+  let config = { Config.default with Config.validate = Config.Shape } in
   match
     Pipeline.compile_schedule ~config Machines.ibmq5
       (Programs.bv 4).Programs.circuit schedule
