@@ -127,6 +127,69 @@ let timing_tests =
                      Device.Machines.ibmq14 bv6 ~level)))
           Triq.Pipeline.all_levels)
 
+(* ---------- simulation-backend stages ---------- *)
+
+(* fig12-style simulation workload: every benchmark that fits, on every
+   Table 2 machine, compiled once at TriQ-1QOptCN. The compiled cells
+   are shared by the Bechamel stages and the wall-clock sections below
+   so all backend comparisons run the exact same circuits. *)
+let sim_cells =
+  lazy
+    (List.concat_map
+       (fun m ->
+         List.filter_map
+           (fun (p : Bench_kit.Programs.t) ->
+             if Device.Machine.fits m p.Bench_kit.Programs.circuit then
+               Some
+                 ( Triq.Pipeline.to_compiled
+                     (Triq.Pipeline.compile_level m
+                        p.Bench_kit.Programs.circuit
+                        ~level:Triq.Pipeline.OneQOptCN),
+                   p.Bench_kit.Programs.spec )
+             else None)
+           Bench_kit.Programs.all)
+       Device.Machines.all)
+
+let sim_sweep ~config () =
+  List.iter
+    (fun (c, s) -> ignore (Sim.Runner.simulate ~config c s))
+    (Lazy.force sim_cells)
+
+(* bv8@IBMQ16 is Clifford end to end (H layers + CNOTs survive 1Q-opt as
+   Clifford-angle rotations), so Auto dispatches it to the stabilizer
+   tableau — the head-to-head polynomial-vs-dense stage. *)
+let sim_bv8 =
+  lazy
+    (let p = Bench_kit.Programs.bv 8 in
+     ( Triq.Pipeline.to_compiled
+         (Triq.Pipeline.compile_level Device.Machines.ibmq16
+            p.Bench_kit.Programs.circuit ~level:Triq.Pipeline.OneQOptCN),
+       p.Bench_kit.Programs.spec ))
+
+let sim_timing_tests =
+  let open Bechamel in
+  let staged name f = Test.make ~name (Staged.stage f) in
+  let cfg backend fusion =
+    Sim.Runner.Config.make ~trajectories:60 ~backend ~fusion ()
+  in
+  let bv8 backend =
+    let c, s = Lazy.force sim_bv8 in
+    fun () ->
+      ignore
+        (Sim.Runner.simulate
+           ~config:(Sim.Runner.Config.make ~trajectories:200 ~backend ())
+           c s)
+  in
+  [
+    staged "sim:sv-nofusion"
+      (sim_sweep ~config:(cfg Sim.Runner.Config.Statevector false));
+    staged "sim:sv-fusion"
+      (sim_sweep ~config:(cfg Sim.Runner.Config.Statevector true));
+    staged "sim:auto" (sim_sweep ~config:(cfg Sim.Runner.Config.Auto true));
+    staged "sim:bv8-statevector" (bv8 Sim.Runner.Config.Statevector);
+    staged "sim:bv8-stabilizer" (bv8 Sim.Runner.Config.Stabilizer);
+  ]
+
 let collect_timings () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -152,7 +215,7 @@ let collect_timings () =
             Printf.printf "%-28s (no estimate)\n%!" name;
             (name, None))
         (Test.elements test))
-    timing_tests
+    (timing_tests @ sim_timing_tests)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -184,6 +247,46 @@ let seq_vs_par ?(trajectories = 300) () =
           if o1.Sim.Runner.distribution <> o2.Sim.Runner.distribution then
             failwith "parallel trajectory run diverged from sequential";
           (seq_s, par_s, jobs)))
+
+(* Backend/fusion wall clock on the full fig12-style grid at real
+   trajectory counts — the headline numbers behind the "simulation"
+   section of BENCH_timings.json. Statevector-without-fusion is the
+   pre-optimization baseline; fusion and Auto dispatch (stabilizer /
+   hybrid where the circuit allows) are the two optimization layers. *)
+let backend_effect ?(trajectories = 300) () =
+  let run config = sim_sweep ~config () in
+  let cfg backend fusion =
+    Sim.Runner.Config.make ~trajectories ~backend ~fusion ()
+  in
+  let base = cfg Sim.Runner.Config.Statevector false in
+  let fuse = cfg Sim.Runner.Config.Statevector true in
+  let auto = cfg Sim.Runner.Config.Auto true in
+  run auto;
+  (* warm code, caches and the lazy cell compile *)
+  let (), base_s = wall (fun () -> run base) in
+  let (), fuse_s = wall (fun () -> run fuse) in
+  let (), auto_s = wall (fun () -> run auto) in
+  (List.length (Lazy.force sim_cells), trajectories, base_s, fuse_s, auto_s)
+
+(* Sweep-level sharding vs trajectory-only parallelism on the same grid:
+   "sharded" fans the individual (machine, benchmark) cells across the
+   pool the way Experiments.grid_rows does; "trajectory-only" walks the
+   cells sequentially and lets each cell parallelize only its own
+   trajectory blocks. Outcomes must be identical — each cell seeds its
+   own RNG, so sharding is pure scheduling. *)
+let sharding_effect ?(trajectories = 150) () =
+  let cells = Lazy.force sim_cells in
+  let jobs = max 2 (Parallel.Pool.default_jobs ()) in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      let config = Sim.Runner.Config.make ~trajectories ~pool () in
+      let run_cell (c, s) = Sim.Runner.simulate ~config c s in
+      ignore (Parallel.Pool.map pool run_cell cells);
+      (* warm *)
+      let o1, traj_only_s = wall (fun () -> List.map run_cell cells) in
+      let o2, shard_s = wall (fun () -> Parallel.Pool.map pool run_cell cells) in
+      if o1 <> o2 then
+        failwith "sharded sweep diverged from trajectory-only sweep";
+      (traj_only_s, shard_s, jobs))
 
 (* Reliability-matrix cache: per-call cost cached vs uncached, plus the
    hit rate over a real sweep (fig10's compile grid). *)
@@ -260,7 +363,8 @@ let counter_json name =
   | _ -> Obs.Json.Int 0
 
 let timings_payload stages per_pass (seq_s, par_s, jobs)
-    (unc, cac, hits, misses) =
+    (unc, cac, hits, misses) (sim_cells_n, sim_traj, base_s, fuse_s, auto_s)
+    (traj_only_s, shard_s, shard_jobs) =
   let open Obs.Json in
   let ns s = Float (Float.round (s *. 1e9)) in
   Obj
@@ -316,6 +420,32 @@ let timings_payload stages per_pass (seq_s, par_s, jobs)
                   ("evictions", counter_json "triq.reliability.cache.evictions");
                 ] );
           ] );
+      ( "simulation",
+        Obj
+          [
+            ( "sweep",
+              Str "fig12-style grid: all fitting benchmarks x Table 2 machines \
+                   @ TriQ-1QOptCN" );
+            ("cells", Int sim_cells_n);
+            ("trajectories", Int sim_traj);
+            ("statevector_nofusion_ns", ns base_s);
+            ("statevector_fusion_ns", ns fuse_s);
+            ("auto_ns", ns auto_s);
+            ( "fusion_speedup",
+              if fuse_s > 0.0 then Float (base_s /. fuse_s) else Null );
+            ( "auto_speedup",
+              if auto_s > 0.0 then Float (base_s /. auto_s) else Null );
+            ( "sharding",
+              Obj
+                [
+                  ("trajectory_only_ns", ns traj_only_s);
+                  ("sharded_ns", ns shard_s);
+                  ("jobs", Int shard_jobs);
+                  ( "speedup",
+                    if shard_s > 0.0 then Float (traj_only_s /. shard_s)
+                    else Null );
+                ] );
+          ] );
       ( "pool",
         Obj
           [
@@ -353,7 +483,22 @@ let run_timings () =
   Printf.printf
     "reliability matrix: uncached %.0f ns/call, cached %.0f ns/call; fig10 sweep: %d hits, %d misses\n"
     (unc *. 1e9) (cac *. 1e9) hits misses;
-  write_timings_json "BENCH_timings.json" (timings_payload stages per_pass sp ce);
+  let be = backend_effect () in
+  let cells_n, traj, base_s, fuse_s, auto_s = be in
+  Printf.printf
+    "simulation backends (%d cells, %d traj): statevector %.1f ms, fused %.1f ms (%.2fx), auto %.1f ms (%.2fx)\n"
+    cells_n traj (base_s *. 1e3) (fuse_s *. 1e3)
+    (if fuse_s > 0.0 then base_s /. fuse_s else Float.nan)
+    (auto_s *. 1e3)
+    (if auto_s > 0.0 then base_s /. auto_s else Float.nan);
+  let sh = sharding_effect () in
+  let traj_only_s, shard_s, shard_jobs = sh in
+  Printf.printf
+    "sweep sharding: trajectory-only %.1f ms, sharded %.1f ms (-j %d, %.2fx)\n"
+    (traj_only_s *. 1e3) (shard_s *. 1e3) shard_jobs
+    (if shard_s > 0.0 then traj_only_s /. shard_s else Float.nan);
+  write_timings_json "BENCH_timings.json"
+    (timings_payload stages per_pass sp ce be sh);
   print_endline "wrote BENCH_timings.json"
 
 (* A CI-fast correctness gate (wired under `dune runtest`): the parallel
@@ -390,8 +535,10 @@ let run_smoke () =
   let per_pass = per_pass_breakdown ~reps:2 () in
   let sp = seq_vs_par ~trajectories:20 () in
   let ce = cache_effect ~reps:5 () in
+  let be = backend_effect ~trajectories:10 () in
+  let sh = sharding_effect ~trajectories:5 () in
   let path = Filename.temp_file "bench_timings_smoke" ".json" in
-  write_timings_json path (timings_payload [] per_pass sp ce);
+  write_timings_json path (timings_payload [] per_pass sp ce be sh);
   let doc =
     Device.Json.parse (In_channel.with_open_text path In_channel.input_all)
   in
@@ -411,13 +558,17 @@ let run_smoke () =
       [ "reliability_cache"; "sweep_misses" ];
       [ "reliability_cache"; "counters"; "hits" ];
       [ "reliability_cache"; "counters"; "misses" ];
+      [ "simulation"; "statevector_nofusion_ns" ];
+      [ "simulation"; "fusion_speedup" ];
+      [ "simulation"; "auto_speedup" ];
+      [ "simulation"; "sharding"; "speedup" ];
       [ "pool"; "tasks" ];
       [ "pool"; "queue_wait_ns"; "buckets" ];
       [ "pool"; "busy_ns"; "count" ];
     ];
   print_endline
     "smoke ok: enriched BENCH_timings.json schema (stages, per_pass, \
-     reliability_cache, pool)"
+     reliability_cache, simulation, pool)"
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -315,13 +315,40 @@ let simulate_cmd =
       value & opt int 300
       & info [ "trajectories" ] ~docv:"N" ~doc:"Monte-Carlo noise trajectories.")
   in
-  let run () file machine_name level_name day trials trajectories trace =
+  let backend_arg =
+    let doc =
+      "Simulation backend: $(b,auto) (default) runs Clifford-only circuits \
+       on the polynomial-time stabilizer tableau and Clifford prefixes on a \
+       tableau/statevector hybrid; $(b,statevector) forces the dense \
+       backend; $(b,stabilizer) forces the tableau and rejects non-Clifford \
+       circuits."
+    in
+    Arg.(
+      value & opt string "auto" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let no_fusion_arg =
+    let doc =
+      "Disable statevector gate fusion (1Q-run merging, diagonal batching, \
+       permutation kernels) and execute gate by gate."
+    in
+    Arg.(value & flag & info [ "no-fusion" ] ~doc)
+  in
+  let run () file machine_name level_name day trials trajectories backend_name
+      no_fusion trace =
     with_trace trace @@ fun () ->
-    match compile_common file machine_name level_name with
-    | Error msg ->
+    match
+      ( compile_common file machine_name level_name,
+        Sim.Runner.Config.backend_of_string backend_name )
+    with
+    | Error msg, _ ->
       Printf.eprintf "triqc: %s\n" msg;
       1
-    | Ok (machine, level, program) ->
+    | Ok _, None ->
+      Printf.eprintf
+        "triqc: unknown backend %S (expected auto, statevector or stabilizer)\n"
+        backend_name;
+      1
+    | Ok (machine, level, program), Some backend ->
       if program.Scaffold.Lower.measured = [] then begin
         Printf.eprintf "triqc: program has no measure statements\n";
         1
@@ -343,7 +370,11 @@ let simulate_cmd =
           | dist -> Ir.Spec.distribution measured dist
         in
         let outcome =
-          Sim.Runner.simulate ~config:(Sim.Runner.Config.make ~trials ~trajectories ()) (Triq.Pipeline.to_compiled compiled) spec
+          Sim.Runner.simulate
+            ~config:
+              (Sim.Runner.Config.make ~trials ~trajectories ~backend
+                 ~fusion:(not no_fusion) ())
+            (Triq.Pipeline.to_compiled compiled) spec
         in
         Printf.printf "success rate: %.4f (%s)\n" outcome.Sim.Runner.success_rate
           (if outcome.Sim.Runner.dominant_correct then "correct answer dominates"
@@ -361,7 +392,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ jobs_arg $ file_arg $ machine_arg $ level_arg $ day_arg
-      $ trials_arg $ trajectories_arg $ trace_args)
+      $ trials_arg $ trajectories_arg $ backend_arg $ no_fusion_arg
+      $ trace_args)
 
 let sweep_cmd =
   let run () file machine_name day trace =
@@ -1050,8 +1082,8 @@ let fuzz_cmd =
   in
   let oracle_arg =
     let doc =
-      "Run a single oracle (roundtrip, semantic, schedule, determinism) \
-       instead of the whole catalog."
+      "Run a single oracle (roundtrip, semantic, dataflow, schedule, \
+       determinism, clifford) instead of the whole catalog."
     in
     Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in

@@ -22,6 +22,63 @@ let pmap_range n f = pmap f (List.init n Fun.id)
 
 let benches () = Programs.all
 
+(* ---------- sweep-level sharding ---------- *)
+
+let rec split_at n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | x :: tl ->
+      let a, b = split_at (n - 1) tl in
+      (x :: a, b)
+    | [] -> invalid_arg "Experiments.split_at"
+
+(* Fan a whole (row x column) grid out across the pool as individual
+   cells instead of per-row closures: with R rows of C columns the pool
+   sees R*C units of work, so a handful of slow cells (a deep benchmark
+   on a slow machine) no longer serializes the columns behind its row.
+   Cells are enumerated in a deterministic order and regrouped
+   row-major, and each cell seeds its own simulation RNG, so the result
+   is identical to the nested spelling for every pool size. *)
+let grid_rows items ~bench_of ~cols ~cell =
+  let cells =
+    List.concat_map (fun it -> List.map (fun (_, c) -> (it, c)) cols) items
+  in
+  let vals = pmap (fun (it, c) -> cell it c) cells in
+  let ncols = List.length cols in
+  let rec regroup vals = function
+    | [] -> []
+    | it :: rest ->
+      let row_vals, tail = split_at ncols vals in
+      {
+        bench = bench_of it;
+        values = List.map2 (fun (name, _) v -> (name, v)) cols row_vals;
+      }
+      :: regroup tail rest
+  in
+  regroup vals items
+
+(* The common machine-major shape: every (machine, benchmark, column)
+   cell of a multi-machine figure fans out at once; rows regroup under
+   their machine's name afterwards. *)
+let machine_grid machines ~cols ~cell =
+  let bs = benches () in
+  let items = List.concat_map (fun m -> List.map (fun p -> (m, p)) bs) machines in
+  let rows =
+    grid_rows items
+      ~bench_of:(fun (_, p) -> p.Programs.name)
+      ~cols
+      ~cell:(fun (m, p) c -> cell m c p)
+  in
+  let nb = List.length bs in
+  let rec chunk rows = function
+    | [] -> []
+    | (m : Machine.t) :: rest ->
+      let mine, tail = split_at nb rows in
+      (m.Machine.name, mine) :: chunk tail rest
+  in
+  chunk rows machines
+
 (* Every grid below compiles through the pass driver: a [Config.t] plus
    the level's named schedule, so ablations (peephole, lookahead) are
    config/schedule edits rather than option tuples. *)
@@ -184,23 +241,10 @@ let print_fig7 () =
 let fig8_machines () = [ Machines.ibmq14; Machines.agave; Machines.umdti ]
 
 let fig8_data () =
-  List.map
-    (fun machine ->
-      let rows =
-        pmap
-          (fun (p : Programs.t) ->
-            let pulses level =
-              Option.map (fun r -> r.Pipeline.pulse_count) (try_compile machine level p)
-            in
-            {
-              bench = p.Programs.name;
-              values =
-                [ ("TriQ-N", pulses Pipeline.N); ("TriQ-1QOpt", pulses Pipeline.OneQOpt) ];
-            })
-          (benches ())
-      in
-      (machine.Machine.name, rows))
-    (fig8_machines ())
+  machine_grid (fig8_machines ())
+    ~cols:[ ("TriQ-N", Pipeline.N); ("TriQ-1QOpt", Pipeline.OneQOpt) ]
+    ~cell:(fun machine level p ->
+      Option.map (fun r -> r.Pipeline.pulse_count) (try_compile machine level p))
 
 let row_table (to_string : 'a option -> string) rows =
   match rows with
@@ -246,23 +290,10 @@ let geomean_improvement ?(invert = false) rows ~better ~baseline to_float =
 (* ---------- Figure 9 ---------- *)
 
 let fig9_data ?trajectories () =
-  List.map
-    (fun machine ->
-      let rows =
-        pmap
-          (fun (p : Programs.t) ->
-            {
-              bench = p.Programs.name;
-              values =
-                [
-                  ("TriQ-N", try_success ?trajectories machine Pipeline.N p);
-                  ("TriQ-1QOpt", try_success ?trajectories machine Pipeline.OneQOpt p);
-                ];
-            })
-          (benches ())
-      in
-      (machine.Machine.name, rows))
+  machine_grid
     [ Machines.ibmq14; Machines.umdti ]
+    ~cols:[ ("TriQ-N", Pipeline.N); ("TriQ-1QOpt", Pipeline.OneQOpt) ]
+    ~cell:(fun machine level p -> try_success ?trajectories machine level p)
 
 let print_fig9 ?trajectories () =
   List.iter
@@ -279,40 +310,18 @@ let print_fig9 ?trajectories () =
 (* ---------- Figure 10 ---------- *)
 
 let fig10_counts () =
-  List.map
-    (fun machine ->
-      let rows =
-        pmap
-          (fun (p : Programs.t) ->
-            let twoq level =
-              Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p)
-            in
-            {
-              bench = p.Programs.name;
-              values =
-                [
-                  ("TriQ-1QOpt", twoq Pipeline.OneQOpt);
-                  ("TriQ-1QOptC", twoq Pipeline.OneQOptC);
-                ];
-            })
-          (benches ())
-      in
-      (machine.Machine.name, rows))
+  machine_grid
     [ Machines.ibmq14; Machines.agave ]
+    ~cols:[ ("TriQ-1QOpt", Pipeline.OneQOpt); ("TriQ-1QOptC", Pipeline.OneQOptC) ]
+    ~cell:(fun machine level p ->
+      Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p))
 
 let fig10_success ?trajectories () =
   let machine = Machines.ibmq14 in
-  pmap
-    (fun (p : Programs.t) ->
-      {
-        bench = p.Programs.name;
-        values =
-          [
-            ("TriQ-1QOpt", try_success ?trajectories machine Pipeline.OneQOpt p);
-            ("TriQ-1QOptC", try_success ?trajectories machine Pipeline.OneQOptC p);
-          ];
-      })
-    (benches ())
+  grid_rows (benches ())
+    ~bench_of:(fun (p : Programs.t) -> p.Programs.name)
+    ~cols:[ ("TriQ-1QOpt", Pipeline.OneQOpt); ("TriQ-1QOptC", Pipeline.OneQOptC) ]
+    ~cell:(fun p level -> try_success ?trajectories machine level p)
 
 let print_fig10 ?trajectories () =
   List.iter
@@ -348,76 +357,54 @@ let baseline_success ?day ?trajectories machine which p =
 
 let fig11_counts () =
   let machine = Machines.ibmq14 in
-  pmap
-    (fun (p : Programs.t) ->
-      let triq level =
-        Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p)
-      in
-      let qiskit =
+  grid_rows (benches ())
+    ~bench_of:(fun (p : Programs.t) -> p.Programs.name)
+    ~cols:
+      [
+        ("Qiskit", `Qiskit);
+        ("TriQ-1QOptC", `Level Pipeline.OneQOptC);
+        ("TriQ-1QOptCN", `Level Pipeline.OneQOptCN);
+      ]
+    ~cell:(fun p -> function
+      | `Qiskit ->
         Option.map
           (fun c -> c.Triq.Compiled.two_q_count)
           (compile_with_baseline machine `Qiskit p)
-      in
-      {
-        bench = p.Programs.name;
-        values =
-          [
-            ("Qiskit", qiskit);
-            ("TriQ-1QOptC", triq Pipeline.OneQOptC);
-            ("TriQ-1QOptCN", triq Pipeline.OneQOptCN);
-          ];
-      })
-    (benches ())
+      | `Level level ->
+        Option.map (fun r -> r.Pipeline.two_q_count) (try_compile machine level p))
 
 let fig11_ibm_success ?trajectories () =
   let machine = Machines.ibmq14 in
-  pmap
-    (fun (p : Programs.t) ->
-      {
-        bench = p.Programs.name;
-        values =
-          [
-            ("Qiskit", baseline_success ?trajectories machine `Qiskit p);
-            ("TriQ-1QOptC", try_success ?trajectories machine Pipeline.OneQOptC p);
-            ("TriQ-1QOptCN", try_success ?trajectories machine Pipeline.OneQOptCN p);
-          ];
-      })
-    (benches ())
+  grid_rows (benches ())
+    ~bench_of:(fun (p : Programs.t) -> p.Programs.name)
+    ~cols:
+      [
+        ("Qiskit", `Qiskit);
+        ("TriQ-1QOptC", `Level Pipeline.OneQOptC);
+        ("TriQ-1QOptCN", `Level Pipeline.OneQOptCN);
+      ]
+    ~cell:(fun p -> function
+      | `Qiskit -> baseline_success ?trajectories machine `Qiskit p
+      | `Level level -> try_success ?trajectories machine level p)
 
 let fig11_rigetti_success ?trajectories () =
-  List.map
-    (fun machine ->
-      let rows =
-        pmap
-          (fun (p : Programs.t) ->
-            {
-              bench = p.Programs.name;
-              values =
-                [
-                  ("Quil", baseline_success ?trajectories machine `Quil p);
-                  ("TriQ-1QOptCN", try_success ?trajectories machine Pipeline.OneQOptCN p);
-                ];
-            })
-          (benches ())
-      in
-      (machine.Machine.name, rows))
+  machine_grid
     [ Machines.agave; Machines.aspen1 ]
+    ~cols:[ ("Quil", `Quil); ("TriQ-1QOptCN", `Level Pipeline.OneQOptCN) ]
+    ~cell:(fun machine col p ->
+      match col with
+      | `Quil -> baseline_success ?trajectories machine `Quil p
+      | `Level level -> try_success ?trajectories machine level p)
 
 let fig11_sequences ?trajectories () =
   let machine = Machines.umdti in
   let series name programs =
     ( name,
-      pmap
-        (fun (p : Programs.t) ->
-          {
-            bench = p.Programs.name;
-            values =
-              [
-                ("TriQ-1QOptC", try_success ?trajectories machine Pipeline.OneQOptC p);
-                ("TriQ-1QOptCN", try_success ?trajectories machine Pipeline.OneQOptCN p);
-              ];
-          })
-        programs )
+      grid_rows programs
+        ~bench_of:(fun (p : Programs.t) -> p.Programs.name)
+        ~cols:
+          [ ("TriQ-1QOptC", Pipeline.OneQOptC); ("TriQ-1QOptCN", Pipeline.OneQOptCN) ]
+        ~cell:(fun p level -> try_success ?trajectories machine level p) )
   in
   [
     series "Toffoli sequence" (List.init 8 (fun i -> Sequences.toffoli (i + 1)));
@@ -454,18 +441,10 @@ let print_fig11 ?trajectories () =
 (* ---------- Figure 12 ---------- *)
 
 let fig12_data ?trajectories () =
-  pmap
-    (fun (p : Programs.t) ->
-      {
-        bench = p.Programs.name;
-        values =
-          List.map
-            (fun machine ->
-              ( machine.Machine.name,
-                try_success ?trajectories machine Pipeline.OneQOptCN p ))
-            Machines.all;
-      })
-    (benches ())
+  grid_rows (benches ())
+    ~bench_of:(fun (p : Programs.t) -> p.Programs.name)
+    ~cols:(List.map (fun m -> (m.Machine.name, m)) Machines.all)
+    ~cell:(fun p machine -> try_success ?trajectories machine Pipeline.OneQOptCN p)
 
 let print_fig12 ?trajectories () =
   let rows = fig12_data ?trajectories () in
@@ -877,23 +856,24 @@ let print_staleness ?trajectories () =
    decisions must correlate strongly with measured success across the
    whole study grid — otherwise optimizing it would be pointless. *)
 let esp_correlation_data ?trajectories () =
-  List.concat_map
-    (fun machine ->
-      pfilter_map
-        (fun (p : Programs.t) ->
-          Option.map
-            (fun compiled ->
-              let success =
-                (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled)
-                   p.Programs.spec)
-                  .Sim.Runner.success_rate
-              in
-              ( Printf.sprintf "%s/%s" machine.Machine.name p.Programs.name,
-                compiled.Pipeline.esp,
-                success ))
-            (try_compile machine Pipeline.OneQOptCN p))
-        (benches ()))
-    Machines.all
+  (* One flat (machine x benchmark) cell list: the whole study grid
+     fans out across the pool at once. *)
+  pfilter_map
+    (fun (machine, (p : Programs.t)) ->
+      Option.map
+        (fun compiled ->
+          let success =
+            (Sim.Runner.simulate ~config:(Sim.Runner.Config.make ?trajectories ()) (Pipeline.to_compiled compiled)
+               p.Programs.spec)
+              .Sim.Runner.success_rate
+          in
+          ( Printf.sprintf "%s/%s" machine.Machine.name p.Programs.name,
+            compiled.Pipeline.esp,
+            success ))
+        (try_compile machine Pipeline.OneQOptCN p))
+    (List.concat_map
+       (fun machine -> List.map (fun p -> (machine, p)) (benches ()))
+       Machines.all)
 
 let print_esp_correlation ?trajectories () =
   let data = esp_correlation_data ?trajectories () in
@@ -1055,14 +1035,25 @@ let print_heavyhex ?trajectories () =
 (* Variability panel: BV4 success across ten calibration days on each IBM
    machine — the benchmark-level consequence of Figure 3's error drift. *)
 let variability_data ?trajectories ?(days = 10) () =
-  List.map
-    (fun machine ->
-      let p = Programs.bv 4 in
-      ( machine.Machine.name,
-        pmap_range days (fun day ->
-            Option.value ~default:0.0
-              (try_success ~day ?trajectories machine Pipeline.OneQOptCN p)) ))
-    [ Machines.ibmq5; Machines.ibmq14; Machines.ibmq16 ]
+  let machines = [ Machines.ibmq5; Machines.ibmq14; Machines.ibmq16 ] in
+  let p = Programs.bv 4 in
+  (* Shard the full (machine x day) grid, then regroup per machine. *)
+  let vals =
+    pmap
+      (fun (machine, day) ->
+        Option.value ~default:0.0
+          (try_success ~day ?trajectories machine Pipeline.OneQOptCN p))
+      (List.concat_map
+         (fun m -> List.init days (fun day -> (m, day)))
+         machines)
+  in
+  let rec chunk vals = function
+    | [] -> []
+    | (m : Machine.t) :: rest ->
+      let mine, tail = split_at days vals in
+      (m.Machine.name, mine) :: chunk tail rest
+  in
+  chunk vals machines
 
 let print_variability ?trajectories () =
   let data = variability_data ?trajectories () in

@@ -162,23 +162,60 @@ let is_clifford_gate g =
   | Ir.Gate.Measure _ -> false
   | _ -> gate_action g <> None
 
-(* Conjugate one generator: restrict it to the operand qubits (slot
-   order; factors on other qubits commute through), replace each basis
-   factor by its image, in the canonical X-before-Z per-qubit order. *)
+(* Conjugation of one Pauli row, exposed over caller-owned bit arrays so
+   external tableau representations (e.g. the simulator's
+   Aaronson-Gottesman tableau with destabilizers) can reuse the derived
+   actions without going through a [t]. *)
+module Action = struct
+  type t = action
+
+  let of_gate = gate_action
+  let arity act = Array.length act.img_x
+
+  (* Restrict the row to the operand qubits (slot order; factors on
+     other qubits commute through), replace each basis factor by its
+     image, in the canonical X-before-Z per-qubit order. Returns the
+     updated phase; [x]/[z] are updated in place. *)
+  let conjugate act qs ~x ~z e =
+    let k = Array.length act.img_x in
+    let acc = ref (local_id k) in
+    for i = 0 to k - 1 do
+      let q = qs.(i) in
+      if x.(q) then acc := local_mul !acc act.img_x.(i);
+      if z.(q) then acc := local_mul !acc act.img_z.(i)
+    done;
+    let a = !acc in
+    for i = 0 to k - 1 do
+      x.(qs.(i)) <- a.lx.(i);
+      z.(qs.(i)) <- a.lz.(i)
+    done;
+    (e + a.le) land 3
+
+  (* Dense lookup table over the 4^k local Pauli patterns, for callers
+     that conjugate rows in bulk (the simulator's tableau backend):
+     index and result pack slot j's X bit at 2j and Z bit at 2j+1, with
+     the phase increment above bit 2k. *)
+  let table act =
+    let k = Array.length act.img_x in
+    let bits = 2 * k in
+    let qs = Array.init k Fun.id in
+    Array.init (1 lsl bits) (fun code ->
+        let x = Array.make k false and z = Array.make k false in
+        for j = 0 to k - 1 do
+          x.(j) <- (code lsr (2 * j)) land 1 = 1;
+          z.(j) <- (code lsr ((2 * j) + 1)) land 1 = 1
+        done;
+        let e = conjugate act qs ~x ~z 0 in
+        let out = ref (e lsl bits) in
+        for j = 0 to k - 1 do
+          if x.(j) then out := !out lor (1 lsl (2 * j));
+          if z.(j) then out := !out lor (1 lsl ((2 * j) + 1))
+        done;
+        !out)
+end
+
 let conj_row row qs act =
-  let k = Array.length qs in
-  let acc = ref (local_id k) in
-  for i = 0 to k - 1 do
-    let q = qs.(i) in
-    if row.x.(q) then acc := local_mul !acc act.img_x.(i);
-    if row.z.(q) then acc := local_mul !acc act.img_z.(i)
-  done;
-  let a = !acc in
-  row.e <- (row.e + a.le) land 3;
-  for i = 0 to k - 1 do
-    row.x.(qs.(i)) <- a.lx.(i);
-    row.z.(qs.(i)) <- a.lz.(i)
-  done
+  row.e <- Action.conjugate act qs ~x:row.x ~z:row.z row.e
 
 let apply t g =
   let qs = Array.of_list (Ir.Gate.qubits g) in

@@ -31,6 +31,33 @@ val generators : t -> generator list
     per gate. *)
 val is_clifford_gate : Ir.Gate.t -> bool
 
+(** A gate's derived Clifford action, applicable to caller-owned Pauli
+    rows. This is the reuse surface for external tableau
+    representations (e.g. the simulator's Aaronson-Gottesman tableau,
+    which carries destabilizer rows this module does not). *)
+module Action : sig
+  type t
+
+  (** Same memoized derivation as {!is_clifford_gate}: [None] when the
+      gate is not Clifford. Raises [Invalid_argument] on [Measure]. *)
+  val of_gate : Ir.Gate.t -> t option
+
+  (** Number of operand slots (1 or 2). *)
+  val arity : t -> int
+
+  (** [conjugate act qs ~x ~z e] conjugates the Pauli
+      [i^e * prod_q X_q^{x_q} Z_q^{z_q}] by the gate acting on qubits
+      [qs] (length = {!arity}), updating [x]/[z] in place and returning
+      the new phase exponent (mod 4). *)
+  val conjugate : t -> int array -> x:bool array -> z:bool array -> int -> int
+
+  (** Dense conjugation table over the 4^arity local Pauli patterns,
+      for callers that conjugate rows in bulk: index and result pack
+      slot [j]'s X bit at position [2j] and Z bit at [2j+1]; the result
+      carries the phase increment (mod 4) above bit [2*arity]. *)
+  val table : t -> int array
+end
+
 (** [apply t g] conjugates every generator by [g] in place and returns
     [true]; returns [false] (state untouched) when [g] is not Clifford.
     Raises [Invalid_argument] on [Measure] or out-of-range operands. *)

@@ -130,6 +130,54 @@ let circuit ~max_qubits ~max_gates rng =
   let b = body ~max_qubits ~max_gates rng in
   Ir.Circuit.append b (measure_layer b.Ir.Circuit.n_qubits rng)
 
+(* ---------- Clifford-only circuits ---------- *)
+
+(* Named Clifford gates plus Clifford-angle rotations (Rz/U1 at
+   multiples of pi/2, the Moelmer-Soerensen Xx at multiples of pi/4).
+   Every candidate is cross-checked against the numerically derived
+   tableau action, so the generator can never emit a non-Clifford gate
+   even if an angle convention shifts. *)
+let clifford_one_q : G.one_q t =
+  let quarter = map (fun k -> float_of_int k *. (Float.pi /. 2.0)) (int_range 0 3) in
+  frequency
+    [
+      (4, one_of [ G.X; G.Y; G.Z; G.H; G.S; G.Sdg ]);
+      (2, map (fun a -> G.Rz a) quarter);
+      (1, map (fun a -> G.Rx a) quarter);
+      (1, map (fun a -> G.U1 a) quarter);
+    ]
+
+let clifford_two_q : G.two_q t =
+  let ms = map (fun k -> float_of_int k *. (Float.pi /. 4.0)) (int_range 1 3) in
+  frequency
+    [
+      (3, return G.Cnot);
+      (2, return G.Cz);
+      (1, return G.Swap);
+      (1, return G.Iswap);
+      (1, map (fun a -> G.Xx a) ms);
+    ]
+
+let clifford_gate ~n_qubits rng =
+  let g =
+    if n_qubits >= 2 && bool 0.45 rng then
+      match distinct_qubits ~n:n_qubits 2 rng with
+      | [ a; b ] -> G.Two (clifford_two_q rng, a, b)
+      | _ -> assert false
+    else G.One (clifford_one_q rng, int_range 0 (n_qubits - 1) rng)
+  in
+  if Dataflow.Tableau.is_clifford_gate g then g
+  else
+    match g with
+    | G.One (_, q) -> G.One (G.H, q)
+    | G.Two (_, a, b) -> G.Two (G.Cnot, a, b)
+    | G.Measure _ | G.Ccx _ | G.Cswap _ -> assert false
+
+let clifford_body ~max_qubits ~max_gates rng =
+  let n = int_range 1 max_qubits rng in
+  let gates = list_n (int_range 0 max_gates) (clifford_gate ~n_qubits:n) rng in
+  Ir.Circuit.create n gates
+
 (* ---------- vendor-visible circuits ---------- *)
 
 (* Ensure the top wire carries an operation: Quil and TI asm have no

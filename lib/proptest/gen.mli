@@ -58,6 +58,16 @@ val body : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
     measurement layer on a random non-empty qubit subset. *)
 val circuit : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
 
+(** A Clifford gate: named Cliffords (X/Y/Z/H/S/Sdg, CNOT/CZ/SWAP/
+    iSWAP) plus Clifford-angle rotations (Rz/U1 at multiples of pi/2,
+    Xx at multiples of pi/4), each verified against the derived tableau
+    action. *)
+val clifford_gate : n_qubits:int -> Ir.Gate.t t
+
+(** A measure-free circuit built only from {!clifford_gate} — the
+    stabilizer-backend cross-validation workload. *)
+val clifford_body : max_qubits:int -> max_gates:int -> Ir.Circuit.t t
+
 (** {2 Vendor software-visible circuits}
 
     Circuits built only from the gates each vendor's emitter accepts,

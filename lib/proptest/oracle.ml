@@ -335,6 +335,129 @@ let check_determinism ~machine ~sample_counts ~explicit_t1 ~run_seed c =
           (Ok ()) rest)
   end
 
+(* ---------- clifford ---------- *)
+
+let l1_diff a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i p -> d := !d +. Float.abs (p -. b.(i))) a;
+  !d
+
+(* Largest per-outcome gap between two reported distributions (missing
+   entries count as zero). The reports truncate below 1e-6, so an entry
+   sitting exactly on the threshold can appear in only one list — the
+   caller's tolerance must absorb that. *)
+let dist_gap a b =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a;
+  let gap = ref 0.0 in
+  List.iter
+    (fun (k, v) ->
+      let v0 = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+      gap := Float.max !gap (Float.abs (v -. v0));
+      Hashtbl.remove tbl k)
+    b;
+  Hashtbl.iter (fun _ v -> gap := Float.max !gap (Float.abs v)) tbl;
+  !gap
+
+let check_clifford ~machine ~run_seed c =
+  (* IR level: the tableau must agree exactly with the dense backend on
+     the Clifford prefix of [c]'s body — full distribution, the
+     materialized statevector, and measurement sampling confined to the
+     support. *)
+  let body = Circuit.body c in
+  let n = body.Circuit.n_qubits in
+  let prefix =
+    let rec take acc = function
+      | g :: rest when Dataflow.Tableau.is_clifford_gate g -> take (g :: acc) rest
+      | _ -> List.rev acc
+    in
+    take [] body.Circuit.gates
+  in
+  let tab = Sim.Stabilizer.init n in
+  if not (List.for_all (fun g -> Sim.Stabilizer.apply_gate tab g) prefix) then
+    Error "stabilizer rejected a gate the tableau classifies as Clifford"
+  else begin
+    let p_sv =
+      Sim.Statevector.probabilities (Sim.Statevector.run (Circuit.create n prefix))
+    in
+    let p_tab = Sim.Stabilizer.probabilities tab in
+    let p_mat =
+      Sim.Statevector.probabilities (Sim.Stabilizer.to_statevector tab)
+    in
+    let l1_pt = l1_diff p_sv p_tab and l1_pm = l1_diff p_sv p_mat in
+    if l1_pt > 1e-9 then
+      Error
+        (Printf.sprintf "tableau distribution drifts from dense backend: L1=%g"
+           l1_pt)
+    else if l1_pm > 1e-9 then
+      Error
+        (Printf.sprintf
+           "materialized statevector drifts from dense backend: L1=%g" l1_pm)
+    else begin
+      let rng = Mathkit.Rng.create run_seed in
+      let bad = ref None in
+      for _ = 1 to 12 do
+        let idx = Sim.Stabilizer.measure_all (Sim.Stabilizer.copy tab) rng in
+        if p_sv.(idx) < 1e-12 && !bad = None then bad := Some idx
+      done;
+      match !bad with
+      | Some idx ->
+        Error
+          (Printf.sprintf "sampled outcome %d lies outside the dense support"
+             idx)
+      | None ->
+        (* Runner level: [Auto] dispatch (stabilizer for Clifford-only
+           compilations, hybrid for Clifford prefixes) must reproduce the
+           forced dense backend. Fusion off on both sides so error-Pauli
+           draws happen in the same order and the comparison is
+           numerical, not stochastic. *)
+        let measured = Circuit.measured_qubits c in
+        if (not (Device.Machine.fits machine c)) || measured = [] then Ok ()
+        else begin
+          match
+            Triq.Pipeline.compile_level machine c ~level:Triq.Pipeline.OneQOptCN
+          with
+          | exception e ->
+            Error (Printf.sprintf "compile raised: %s" (Printexc.to_string e))
+          | compiled -> (
+            let executable = Triq.Pipeline.to_compiled compiled in
+            let spec =
+              match Sim.Runner.ideal_distribution (Circuit.body c) ~measured with
+              | [] ->
+                Ir.Spec.deterministic measured
+                  (String.make (List.length measured) '0')
+              | dist -> Ir.Spec.distribution measured dist
+            in
+            let run backend =
+              Sim.Runner.simulate
+                ~config:
+                  (Sim.Runner.Config.make ~seed:run_seed ~trials:512
+                     ~trajectories:60 ~fusion:false ~backend ())
+                executable spec
+            in
+            match
+              (run Sim.Runner.Config.Auto, run Sim.Runner.Config.Statevector)
+            with
+            | exception e ->
+              Error (Printf.sprintf "runner raised: %s" (Printexc.to_string e))
+            | auto, dense ->
+              let gap =
+                dist_gap auto.Sim.Runner.distribution
+                  dense.Sim.Runner.distribution
+              in
+              (* 2e-6 absorbs the 1e-6 report-truncation threshold on
+                 top of float error. *)
+              if gap > 2e-6 then
+                Error
+                  (Printf.sprintf
+                     "auto and statevector backends diverge (machine %s, \
+                      seed %d): max distribution gap %g"
+                     machine.Device.Machine.name run_seed gap)
+              else Ok ())
+        end
+    end
+  end
+
 (* ---------- generated case types ---------- *)
 
 type roundtrip_case = { rt_vendor : vendor; rt_circuit : Circuit.t }
@@ -354,6 +477,12 @@ type determinism_case = {
   dt_explicit_t1 : bool;
   dt_run_seed : int;
   dt_circuit : Circuit.t;
+}
+
+type clifford_case = {
+  cl_machine : Device.Machine.t;
+  cl_run_seed : int;
+  cl_circuit : Circuit.t;
 }
 
 let show_circuit c = Format.asprintf "%a" Circuit.pp c
@@ -488,6 +617,43 @@ let determinism_spec : determinism_case Harness.spec =
           ~explicit_t1:c.dt_explicit_t1 ~run_seed:c.dt_run_seed c.dt_circuit);
   }
 
+let clifford_spec : clifford_case Harness.spec =
+  {
+    Harness.name = "clifford";
+    gen =
+      (fun rng ->
+        let machine = Gen.one_of Device.Machines.all rng in
+        let max_qubits = min 4 (Device.Machine.n_qubits machine) in
+        let body = Gen.clifford_body ~max_qubits ~max_gates:14 rng in
+        let n = body.Circuit.n_qubits in
+        (* A non-Clifford tail in ~1/3 of cases exercises the hybrid
+           (tableau-prefix + dense-tail) dispatch path. *)
+        let body =
+          if Gen.bool 0.35 rng then
+            Circuit.append body
+              (Gen.list_n (Gen.int_range 1 4) (Gen.gate ~n_qubits:n) rng)
+          else body
+        in
+        let c = Circuit.append body (List.init n (fun q -> G.Measure q)) in
+        {
+          cl_machine = machine;
+          cl_run_seed = Gen.int_range 0 1_000_000 rng;
+          cl_circuit = c;
+        });
+    shrink =
+      Shrink.lift
+        ~get:(fun c -> c.cl_circuit)
+        ~set:(fun c circuit -> { c with cl_circuit = circuit })
+        Shrink.circuit;
+    show =
+      (fun c ->
+        Printf.sprintf "machine=%s seed=%d\n%s" c.cl_machine.Device.Machine.name
+          c.cl_run_seed (show_circuit c.cl_circuit));
+    prop =
+      (fun c ->
+        check_clifford ~machine:c.cl_machine ~run_seed:c.cl_run_seed c.cl_circuit);
+  }
+
 (* ---------- reports ---------- *)
 
 let catalog =
@@ -498,6 +664,8 @@ let catalog =
       "static dead-gate and Clifford-tableau facts agree with simulation" );
     ("schedule", "every level and router/peephole ablation preserves semantics");
     ("determinism", "Sim.Runner outcomes identical across -j 1/2/8");
+    ( "clifford",
+      "stabilizer tableau agrees with the dense backend on Clifford circuits" );
   ]
 
 type failure_report = {
@@ -585,6 +753,16 @@ let run ~seed ~cases name =
                   (machine_expr c.dt_machine) c.dt_sample_counts
                   c.dt_explicit_t1 c.dt_run_seed)
              c.dt_circuit))
+  | "clifford" ->
+    Ok
+      (run_spec ~seed ~cases clifford_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"clifford"
+             ~check_expr:
+               (Printf.sprintf
+                  "Proptest.Oracle.check_clifford ~machine:%s ~run_seed:%d \
+                   circuit"
+                  (machine_expr c.cl_machine) c.cl_run_seed)
+             c.cl_circuit))
   | other ->
     Error
       (Printf.sprintf "unknown oracle %S (known: %s)" other

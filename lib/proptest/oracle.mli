@@ -77,10 +77,25 @@ val check_determinism :
   Ir.Circuit.t ->
   (unit, string) result
 
+(** [check_clifford ~machine ~run_seed c] cross-validates the
+    polynomial-time stabilizer backend against the dense statevector on
+    [c]'s Clifford prefix (distribution L1 <= 1e-9, materialized state,
+    sampled outcomes confined to the support), then — when [c] fits
+    [machine] and measures something — compiles [c] at TriQ-1QOptCN and
+    requires the noisy runner's [Auto] dispatch (stabilizer or hybrid)
+    to reproduce the forced [Statevector] backend with fusion off
+    (identical error-Pauli draw order; max per-outcome gap 2e-6). *)
+val check_clifford :
+  machine:Device.Machine.t ->
+  run_seed:int ->
+  Ir.Circuit.t ->
+  (unit, string) result
+
 (** {1 Running oracles} *)
 
 (** Canonical (name, description) rows, in catalog order:
-    ["roundtrip"; "semantic"; "dataflow"; "schedule"; "determinism"]. *)
+    ["roundtrip"; "semantic"; "dataflow"; "schedule"; "determinism";
+    "clifford"]. *)
 val catalog : (string * string) list
 
 type failure_report = {

@@ -19,6 +19,19 @@ type outcome = {
 let traj_block = 25
 
 module Config = struct
+  type backend = Auto | Statevector | Stabilizer
+
+  let backend_of_string = function
+    | "auto" -> Some Auto
+    | "statevector" -> Some Statevector
+    | "stabilizer" -> Some Stabilizer
+    | _ -> None
+
+  let backend_to_string = function
+    | Auto -> "auto"
+    | Statevector -> "statevector"
+    | Stabilizer -> "stabilizer"
+
   type t = {
     seed : int;
     trials : int;
@@ -27,6 +40,8 @@ module Config = struct
     sample_counts : bool;
     explicit_t1 : bool;
     pool : Parallel.Pool.t option;
+    backend : backend;
+    fusion : bool;
   }
 
   let default =
@@ -38,18 +53,55 @@ module Config = struct
       sample_counts = false;
       explicit_t1 = false;
       pool = None;
+      backend = Auto;
+      fusion = true;
     }
 
   let make ?(seed = 0xC0FFEE) ?(trials = 8192) ?(trajectories = 300) ?day
-      ?(sample_counts = false) ?(explicit_t1 = false) ?pool () =
-    { seed; trials; trajectories; day; sample_counts; explicit_t1; pool }
+      ?(sample_counts = false) ?(explicit_t1 = false) ?pool ?(backend = Auto)
+      ?(fusion = true) () =
+    {
+      seed;
+      trials;
+      trajectories;
+      day;
+      sample_counts;
+      explicit_t1;
+      pool;
+      backend;
+      fusion;
+    }
 end
 
 let m_trajectories = Obs.Metrics.counter "sim.trajectories"
 let m_blocks = Obs.Metrics.counter "sim.blocks"
 
+(* One prepared (compacted) gate: operands are compact simulator
+   indices, matrices/error probabilities precomputed. *)
+type pgate = {
+  cg : Ir.Gate.t;
+  matrix : Mathkit.Matrix.t;
+  p_err : float;
+  gamma : float;
+}
+
+(* Under [Auto], circuits whose Clifford prefix has at least this many
+   gates run the prefix on the stabilizer tableau before materializing
+   amplitudes for the dense tail. *)
+let hybrid_threshold = 4
+
 let simulate ?(config = Config.default) compiled spec =
-  let { Config.seed; trials; trajectories; day; sample_counts; explicit_t1; pool } =
+  let {
+    Config.seed;
+    trials;
+    trajectories;
+    day;
+    sample_counts;
+    explicit_t1;
+    pool;
+    backend;
+    fusion;
+  } =
     config
   in
   (* Zero trajectories would silently divide the averaged distribution by
@@ -101,14 +153,142 @@ let simulate ?(config = Config.default) compiled spec =
            in
            let gamma = if explicit_t1 then Noise.relaxation_gamma noise g else 0.0 in
            match (g : Ir.Gate.t) with
-           | One (kind, q) -> `One (Ir.Matrices.one_q kind, qubit_of q, p, gamma)
+           | One (kind, q) ->
+             {
+               cg = Ir.Gate.One (kind, qubit_of q);
+               matrix = Ir.Matrices.one_q kind;
+               p_err = p;
+               gamma;
+             }
            | Two (kind, a, b) ->
-             `Two (Ir.Matrices.two_q kind, qubit_of a, qubit_of b, p, gamma)
+             {
+               cg = Ir.Gate.Two (kind, qubit_of a, qubit_of b);
+               matrix = Ir.Matrices.two_q kind;
+               p_err = p;
+               gamma;
+             }
            | Measure _ | Ccx _ | Cswap _ -> assert false)
          body)
   in
   let n_gates = Array.length prepared in
+  (* Backend dispatch: derived Clifford actions (memoized per gate
+     shape) decide how much of the circuit the polynomial-time tableau
+     can carry. Explicit T1 relaxation is not a Clifford channel, so it
+     pins the dense backend. *)
+  let actions =
+    Array.map (fun pg -> Dataflow.Tableau.Action.of_gate pg.cg) prepared
+  in
+  let qs_arr =
+    Array.map (fun pg -> Array.of_list (Ir.Gate.qubits pg.cg)) prepared
+  in
+  let prefix_len =
+    let i = ref 0 in
+    while !i < n_gates && actions.(!i) <> None do incr i done;
+    !i
+  in
+  let mode =
+    match backend with
+    | Config.Statevector -> `Sv
+    | Config.Stabilizer ->
+      if explicit_t1 then
+        invalid_arg
+          "Runner.simulate: stabilizer backend cannot model explicit T1 \
+           relaxation";
+      if prefix_len < n_gates then
+        invalid_arg
+          "Runner.simulate: stabilizer backend requires a Clifford-only \
+           circuit";
+      `Stab
+    | Config.Auto ->
+      if explicit_t1 then `Sv
+      else if prefix_len = n_gates then `Stab
+      else if prefix_len >= hybrid_threshold then `Hybrid
+      else `Sv
+  in
+  let mode_name =
+    match mode with `Stab -> "stabilizer" | `Hybrid -> "hybrid" | `Sv -> "statevector"
+  in
+  (* Fusion plans (statevector paths only; explicit T1 interleaves a
+     stochastic channel after every gate, which fused groups cannot
+     honor). The plan depends only on the circuit, never on the pool or
+     the error draws, so cross-pool determinism is preserved. *)
+  let use_fusion = fusion && not explicit_t1 in
+  let members_of lo hi =
+    Array.init (hi - lo) (fun j ->
+        let pg = prepared.(lo + j) in
+        { Fusion.idx = lo + j; gate = pg.cg; matrix = pg.matrix })
+  in
+  let full_plan, tail_plan, apps =
+    Obs.Span.with_span
+      ~attrs:
+        [
+          ("backend", Obs.Span.Str mode_name);
+          ("fusion", Obs.Span.Str (if use_fusion then "on" else "off"));
+          ("gates", Obs.Span.Int n_gates);
+          ("clifford_prefix", Obs.Span.Int prefix_len);
+        ]
+      "sim.prepare"
+    @@ fun () ->
+    (* Tableau-borne gates (the whole circuit under [`Stab], the prefix
+       under [`Hybrid]) compile to dense per-gate lookup tables. *)
+    let n_apps =
+      match mode with `Stab -> n_gates | `Hybrid -> prefix_len | `Sv -> 0
+    in
+    let apps =
+      Array.init n_apps (fun i ->
+          Stabilizer.compile_action (Option.get actions.(i)) qs_arr.(i))
+    in
+    match mode with
+    | `Sv when use_fusion && n_gates > 0 ->
+      (Some (Fusion.plan ~n:k (members_of 0 n_gates)), None, apps)
+    | `Hybrid when use_fusion && prefix_len < n_gates ->
+      (None, Some (Fusion.plan ~n:k (members_of prefix_len n_gates)), apps)
+    | _ -> (None, None, apps)
+  in
   let pauli = [| Ir.Matrices.one_q X; Ir.Matrices.one_q Y; Ir.Matrices.one_q Z |] in
+  let tab_pauli = [| Stabilizer.X; Stabilizer.Y; Stabilizer.Z |] in
+  (* A 2Q error draws a non-identity Pauli pair by rejection. *)
+  let rec draw_two rng =
+    let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
+    if pa = 0 && pb = 0 then draw_two rng else (pa, pb)
+  in
+  let inject_sv state rng (cg : Ir.Gate.t) =
+    match cg with
+    | One (_, q) -> Statevector.apply_one state pauli.(Rng.int rng 3) q
+    | Two (_, a, b) ->
+      let pa, pb = draw_two rng in
+      if pa > 0 then Statevector.apply_one state pauli.(pa - 1) a;
+      if pb > 0 then Statevector.apply_one state pauli.(pb - 1) b
+    | Measure _ | Ccx _ | Cswap _ -> assert false
+  in
+  let inject_tab tab rng (cg : Ir.Gate.t) =
+    match cg with
+    | One (_, q) -> Stabilizer.apply_pauli tab q tab_pauli.(Rng.int rng 3)
+    | Two (_, a, b) ->
+      let pa, pb = draw_two rng in
+      if pa > 0 then Stabilizer.apply_pauli tab a tab_pauli.(pa - 1);
+      if pb > 0 then Stabilizer.apply_pauli tab b tab_pauli.(pb - 1)
+    | Measure _ | Ccx _ | Cswap _ -> assert false
+  in
+  (* Same error-Pauli draws as [inject_tab] (identical RNG consumption),
+     but as qubit-indexed bit masks for single-row propagation. Pauli
+     index order matches [tab_pauli]: 0 = X, 1 = Y, 2 = Z. *)
+  let mask_of p q =
+    match p with
+    | 0 -> (1 lsl q, 0)
+    | 1 -> (1 lsl q, 1 lsl q)
+    | _ -> (0, 1 lsl q)
+  in
+  let err_masks rng (cg : Ir.Gate.t) =
+    match cg with
+    | One (_, q) -> mask_of (Rng.int rng 3) q
+    | Two (_, a, b) ->
+      let pa, pb = draw_two rng in
+      let xa, za = if pa > 0 then mask_of (pa - 1) a else (0, 0) in
+      let xb, zb = if pb > 0 then mask_of (pb - 1) b else (0, 0) in
+      (xa lor xb, za lor zb)
+    | Measure _ | Ccx _ | Cswap _ -> assert false
+  in
   (* Every trajectory draws from its own stream, split off the master in
      trajectory order; the remaining master stream serves shot sampling.
      Splitting decouples a trajectory's randomness from whichever domain
@@ -125,52 +305,160 @@ let simulate ?(config = Config.default) compiled spec =
     let any = ref false in
     let flags = Array.make n_gates false in
     for i = 0 to n_gates - 1 do
-      let p =
-        match prepared.(i) with `One (_, _, p, _) | `Two (_, _, _, p, _) -> p
-      in
+      let p = prepared.(i).p_err in
       let e = p > 0.0 && Rng.bool rng p in
       if e then any := true;
       flags.(i) <- e
     done;
     (flags, !any)
   in
-  let run_trajectory rng flags =
-    let state = Statevector.init k in
-    for i = 0 to n_gates - 1 do
-      let erred = flags.(i) in
-      match prepared.(i) with
-      | `One (m, q, _, gamma) ->
-        Statevector.apply_one state m q;
-        if erred then Statevector.apply_one state pauli.(Rng.int rng 3) q;
-        if gamma > 0.0 then ignore (Statevector.relax state q ~gamma rng)
-      | `Two (m, a, b, _, gamma) ->
-        Statevector.apply_two state m a b;
-        if erred then begin
-          let rec draw () =
-            let pa = Rng.int rng 4 and pb = Rng.int rng 4 in
-            if pa = 0 && pb = 0 then draw () else (pa, pb)
-          in
-          let pa, pb = draw () in
-          if pa > 0 then Statevector.apply_one state pauli.(pa - 1) a;
-          if pb > 0 then Statevector.apply_one state pauli.(pb - 1) b
-        end;
-        if gamma > 0.0 then begin
-          ignore (Statevector.relax state a ~gamma rng);
-          ignore (Statevector.relax state b ~gamma rng)
-        end
+  (* Unfused statevector execution of gates [lo, hi) with error
+     injection — the fusion-off and explicit-T1 path. *)
+  let run_range_sv state rng flags lo hi =
+    for i = lo to hi - 1 do
+      let pg = prepared.(i) in
+      (match pg.cg with
+      | One (_, q) -> Statevector.apply_one state pg.matrix q
+      | Two (_, a, b) -> Statevector.apply_two state pg.matrix a b
+      | Measure _ | Ccx _ | Cswap _ -> assert false);
+      if flags.(i) then inject_sv state rng pg.cg;
+      if pg.gamma > 0.0 then
+        match pg.cg with
+        | One (_, q) -> ignore (Statevector.relax state q ~gamma:pg.gamma rng)
+        | Two (_, a, b) ->
+          ignore (Statevector.relax state a ~gamma:pg.gamma rng);
+          ignore (Statevector.relax state b ~gamma:pg.gamma rng)
+        | Measure _ | Ccx _ | Cswap _ -> assert false
+    done
+  in
+  (* Fused execution: a step whose gates are all clean applies as one
+     kernel pass; a step containing an erred gate falls back to its
+     member gates one by one, injecting the Pauli right after the erred
+     gate (per-wire order is preserved by construction, so this is
+     exact). *)
+  let run_plan state rng flags plan =
+    Array.iter
+      (fun step ->
+        let ms = Fusion.step_members step in
+        let erred = Array.exists (fun (m : Fusion.member) -> flags.(m.idx)) ms in
+        if erred then
+          Array.iter
+            (fun (m : Fusion.member) ->
+              Fusion.apply_member state m;
+              if flags.(m.idx) then inject_sv state rng m.gate)
+            ms
+        else Fusion.apply_step state step)
+      (Fusion.steps plan)
+  in
+  (* Tableau execution of the (Clifford) gates [lo, hi): Pauli errors
+     are themselves Clifford, so erred trajectories stay polynomial. *)
+  let run_range_tab tab rng flags lo hi =
+    for i = lo to hi - 1 do
+      Stabilizer.apply_app tab apps.(i);
+      if flags.(i) then inject_tab tab rng prepared.(i).cg
+    done
+  in
+  let clean_tab hi =
+    let tab = Stabilizer.init k in
+    for i = 0 to hi - 1 do
+      Stabilizer.apply_app tab apps.(i)
     done;
-    state
+    tab
+  in
+  (* Per-mode shared precomputation. [`Stab]: the ideal end-state's
+     frozen read-out — error trajectories never touch a tableau, they
+     only propagate each error Pauli to the circuit end (one row, O(1)
+     per gate) and re-price the support's base point. [`Hybrid]: the
+     clean prefix state, copied whenever no prefix gate erred (the
+     common case — the prefix is a minority of the gates). *)
+  let stab_readout =
+    match mode with
+    | `Stab -> Some (Stabilizer.readout (clean_tab n_gates))
+    | `Hybrid | `Sv -> None
+  in
+  let prefix_state =
+    match mode with
+    | `Hybrid -> Some (Stabilizer.to_statevector (clean_tab prefix_len))
+    | `Stab | `Sv -> None
+  in
+  let clean_range_sv state lo hi =
+    for i = lo to hi - 1 do
+      let pg = prepared.(i) in
+      match pg.cg with
+      | One (_, q) -> Statevector.apply_one state pg.matrix q
+      | Two (_, a, b) -> Statevector.apply_two state pg.matrix a b
+      | Measure _ | Ccx _ | Cswap _ -> assert false
+    done
+  in
+  let run_trajectory rng flags =
+    match mode with
+    | `Stab ->
+      (* Sign-flip trick: the end-state of an erred trajectory is
+         P' |ideal> for some Pauli P' (each injected error conjugated
+         through the remaining gates), and a Pauli only flips the signs
+         of the stabilizer rows it anticommutes with. Flips from
+         successive errors xor, so order is irrelevant. *)
+      let readout = Option.get stab_readout in
+      let flips = ref 0 in
+      for i = 0 to n_gates - 1 do
+        if flags.(i) then begin
+          let xm0, zm0 = err_masks rng prepared.(i).cg in
+          let xm = ref xm0 and zm = ref zm0 in
+          for j = i + 1 to n_gates - 1 do
+            let x', z' = Stabilizer.conjugate_masks apps.(j) ~xm:!xm ~zm:!zm in
+            xm := x';
+            zm := z'
+          done;
+          flips := !flips lxor Stabilizer.flip_mask readout ~xm:!xm
+        end
+      done;
+      Stabilizer.readout_probabilities readout ~flips:!flips
+    | `Hybrid ->
+      let prefix_erred =
+        let e = ref false in
+        for i = 0 to prefix_len - 1 do
+          if flags.(i) then e := true
+        done;
+        !e
+      in
+      let state =
+        if prefix_erred then begin
+          let tab = Stabilizer.init k in
+          run_range_tab tab rng flags 0 prefix_len;
+          Stabilizer.to_statevector tab
+        end
+        else Statevector.copy (Option.get prefix_state)
+      in
+      (match tail_plan with
+      | Some plan -> run_plan state rng flags plan
+      | None -> run_range_sv state rng flags prefix_len n_gates);
+      Statevector.probabilities state
+    | `Sv ->
+      let state = Statevector.init k in
+      (match full_plan with
+      | Some plan -> run_plan state rng flags plan
+      | None -> run_range_sv state rng flags 0 n_gates);
+      Statevector.probabilities state
   in
   (* Clean trajectories all coincide: compute the ideal output once and
      reuse it whenever the sampled error pattern is empty. *)
-  let ideal_state = Statevector.init k in
-  Array.iter
-    (fun instr ->
-      match instr with
-      | `One (m, q, _, _) -> Statevector.apply_one ideal_state m q
-      | `Two (m, a, b, _, _) -> Statevector.apply_two ideal_state m a b)
-    prepared;
-  let ideal_probs = Statevector.probabilities ideal_state in
+  let ideal_probs =
+    match mode with
+    | `Stab ->
+      Stabilizer.readout_probabilities (Option.get stab_readout) ~flips:0
+    | `Hybrid ->
+      let state = Statevector.copy (Option.get prefix_state) in
+      (match tail_plan with
+      | Some plan -> Fusion.run_clean state plan
+      | None -> clean_range_sv state prefix_len n_gates);
+      Statevector.probabilities state
+    | `Sv ->
+      let state = Statevector.init k in
+      (match full_plan with
+      | Some plan -> Fusion.run_clean state plan
+      | None -> clean_range_sv state 0 n_gates);
+      Statevector.probabilities state
+  in
   let dim = 1 lsl k in
   let run_block b =
     let partial = Array.make dim 0.0 in
@@ -182,7 +470,7 @@ let simulate ?(config = Config.default) compiled spec =
         (* Explicit relaxation is stochastic in every trajectory, so the
            clean-trajectory shortcut only applies without it. *)
         if (not any) && not explicit_t1 then ideal_probs
-        else Statevector.probabilities (run_trajectory rng flags)
+        else run_trajectory rng flags
       in
       for i = 0 to dim - 1 do
         partial.(i) <- partial.(i) +. probs.(i)

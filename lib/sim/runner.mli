@@ -38,6 +38,20 @@ type outcome = {
     reports, instead of re-plumbing seven optional arguments through
     every wrapper. *)
 module Config : sig
+  (** Simulation backend selection. [Auto] (the default) picks per
+      circuit: Clifford-only circuits run entirely on the
+      polynomial-time {!Stabilizer} tableau; circuits with a
+      substantial Clifford prefix simulate the prefix on the tableau
+      and materialize a statevector for the non-Clifford tail; anything
+      else (and any [explicit_t1] run — amplitude damping is not a
+      Clifford channel) uses the dense {!Statevector}. Forcing
+      [Stabilizer] raises [Invalid_argument] on non-Clifford circuits
+      or with [explicit_t1]. *)
+  type backend = Auto | Statevector | Stabilizer
+
+  val backend_of_string : string -> backend option
+  val backend_to_string : backend -> string
+
   type t = {
     seed : int;  (** master RNG seed (default [0xC0FFEE]) *)
     trials : int;  (** shots the counts are scaled to (default 8192) *)
@@ -60,6 +74,15 @@ module Config : sig
             uses the process-wide {!Parallel.Pool.default}. A [jobs:1]
             pool forces sequential execution; the result is identical
             either way. *)
+    backend : backend;  (** backend selection (default [Auto]) *)
+    fusion : bool;
+        (** fuse the statevector gate stream (1Q run merging, diagonal
+            batching, permutation kernels) before executing trajectories
+            (default [true]). The plan depends only on the circuit, so
+            outcomes stay bit-identical across pool sizes; disabling it
+            reproduces the gate-by-gate execution order exactly.
+            Ignored (off) under [explicit_t1], whose per-gate stochastic
+            relaxation cannot cross fused groups. *)
   }
 
   val default : t
@@ -72,6 +95,8 @@ module Config : sig
     ?sample_counts:bool ->
     ?explicit_t1:bool ->
     ?pool:Parallel.Pool.t ->
+    ?backend:backend ->
+    ?fusion:bool ->
     unit ->
     t
 end

@@ -11,6 +11,16 @@ let init n =
 
 let n_qubits t = t.n
 
+let of_arrays ~re ~im =
+  let dim = Array.length re in
+  if dim = 0 || Array.length im <> dim then
+    invalid_arg "Statevector.of_arrays: arrays must be equal non-empty length";
+  let n = ref 0 in
+  while 1 lsl !n < dim do incr n done;
+  if 1 lsl !n <> dim || !n < 1 || !n > 24 then
+    invalid_arg "Statevector.of_arrays: length must be 2^n, 1 <= n <= 24";
+  { n = !n; re; im }
+
 let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
 
 let amplitude t i = Mathkit.Cplx.make t.re.(i) t.im.(i)
@@ -68,28 +78,207 @@ let apply_two t m a b =
   let re = t.re and im = t.im in
   let xr = Array.make 4 0.0 and xi = Array.make 4 0.0 in
   let indices = Array.make 4 0 in
-  for base = 0 to dim - 1 do
-    (* Process each group once, from its representative with both bits 0. *)
-    if base land sa = 0 && base land sb = 0 then begin
-      indices.(0) <- base;
-      indices.(1) <- base lor sb;
-      indices.(2) <- base lor sa;
-      indices.(3) <- base lor sa lor sb;
-      for k = 0 to 3 do
-        xr.(k) <- re.(indices.(k));
-        xi.(k) <- im.(indices.(k))
-      done;
-      for r = 0 to 3 do
-        let accr = ref 0.0 and acci = ref 0.0 in
-        for c = 0 to 3 do
-          let k = (r * 4) + c in
-          accr := !accr +. (mr.(k) *. xr.(c)) -. (mi.(k) *. xi.(c));
-          acci := !acci +. (mr.(k) *. xi.(c)) +. (mi.(k) *. xr.(c))
+  (* Enumerate the dim/4 group representatives (both bits 0) directly:
+     split the index into the runs of bits above, between and below the
+     two strides, skipping the set-bit halves block-wise. *)
+  let sl = if sa < sb then sa else sb in
+  let sh = if sa < sb then sb else sa in
+  let h = ref 0 in
+  while !h < dim do
+    let m_ = ref !h in
+    let mid_end = !h + sh in
+    while !m_ < mid_end do
+      let base = ref !m_ in
+      let low_end = !m_ + sl in
+      while !base < low_end do
+        indices.(0) <- !base;
+        indices.(1) <- !base lor sb;
+        indices.(2) <- !base lor sa;
+        indices.(3) <- !base lor sa lor sb;
+        for k = 0 to 3 do
+          xr.(k) <- re.(indices.(k));
+          xi.(k) <- im.(indices.(k))
         done;
-        re.(indices.(r)) <- !accr;
-        im.(indices.(r)) <- !acci
-      done
-    end
+        for r = 0 to 3 do
+          let accr = ref 0.0 and acci = ref 0.0 in
+          for c = 0 to 3 do
+            let k = (r * 4) + c in
+            accr := !accr +. (mr.(k) *. xr.(c)) -. (mi.(k) *. xi.(c));
+            acci := !acci +. (mr.(k) *. xi.(c)) +. (mi.(k) *. xr.(c))
+          done;
+          re.(indices.(r)) <- !accr;
+          im.(indices.(r)) <- !acci
+        done;
+        incr base
+      done;
+      m_ := !m_ + (2 * sl)
+    done;
+    h := !h + (2 * sh)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Specialized kernels: permutation and diagonal gates touch (or move) *)
+(* each amplitude once, with no 4x4 product.                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_pair t a b =
+  check_qubit t a;
+  check_qubit t b;
+  if a = b then invalid_arg "Statevector: identical qubits"
+
+let apply_cnot t c x =
+  check_pair t c x;
+  let dim = 1 lsl t.n in
+  let sc = 1 lsl (t.n - 1 - c) and sx = 1 lsl (t.n - 1 - x) in
+  let sl = if sc < sx then sc else sx in
+  let sh = if sc < sx then sx else sc in
+  let re = t.re and im = t.im in
+  let h = ref 0 in
+  while !h < dim do
+    let m = ref !h in
+    let mid_end = !h + sh in
+    while !m < mid_end do
+      let base = ref !m in
+      let low_end = !m + sl in
+      while !base < low_end do
+        let i10 = !base lor sc in
+        let i11 = i10 lor sx in
+        let r = re.(i10) and i = im.(i10) in
+        re.(i10) <- re.(i11);
+        im.(i10) <- im.(i11);
+        re.(i11) <- r;
+        im.(i11) <- i;
+        incr base
+      done;
+      m := !m + (2 * sl)
+    done;
+    h := !h + (2 * sh)
+  done
+
+let apply_cz t a b =
+  check_pair t a b;
+  let dim = 1 lsl t.n in
+  let sa = 1 lsl (t.n - 1 - a) and sb = 1 lsl (t.n - 1 - b) in
+  let sl = if sa < sb then sa else sb in
+  let sh = if sa < sb then sb else sa in
+  let re = t.re and im = t.im in
+  let h = ref 0 in
+  while !h < dim do
+    let m = ref !h in
+    let mid_end = !h + sh in
+    while !m < mid_end do
+      let base = ref !m in
+      let low_end = !m + sl in
+      while !base < low_end do
+        let i11 = !base lor sa lor sb in
+        re.(i11) <- -.re.(i11);
+        im.(i11) <- -.im.(i11);
+        incr base
+      done;
+      m := !m + (2 * sl)
+    done;
+    h := !h + (2 * sh)
+  done
+
+let apply_swap t a b =
+  check_pair t a b;
+  let dim = 1 lsl t.n in
+  let sa = 1 lsl (t.n - 1 - a) and sb = 1 lsl (t.n - 1 - b) in
+  let sl = if sa < sb then sa else sb in
+  let sh = if sa < sb then sb else sa in
+  let re = t.re and im = t.im in
+  let h = ref 0 in
+  while !h < dim do
+    let m = ref !h in
+    let mid_end = !h + sh in
+    while !m < mid_end do
+      let base = ref !m in
+      let low_end = !m + sl in
+      while !base < low_end do
+        let i01 = !base lor sb and i10 = !base lor sa in
+        let r = re.(i01) and i = im.(i01) in
+        re.(i01) <- re.(i10);
+        im.(i01) <- im.(i10);
+        re.(i10) <- r;
+        im.(i10) <- i;
+        incr base
+      done;
+      m := !m + (2 * sl)
+    done;
+    h := !h + (2 * sh)
+  done
+
+let apply_iswap t a b =
+  check_pair t a b;
+  let dim = 1 lsl t.n in
+  let sa = 1 lsl (t.n - 1 - a) and sb = 1 lsl (t.n - 1 - b) in
+  let sl = if sa < sb then sa else sb in
+  let sh = if sa < sb then sb else sa in
+  let re = t.re and im = t.im in
+  let h = ref 0 in
+  while !h < dim do
+    let m = ref !h in
+    let mid_end = !h + sh in
+    while !m < mid_end do
+      let base = ref !m in
+      let low_end = !m + sl in
+      while !base < low_end do
+        (* |01> -> i|10>, |10> -> i|01>: swap then multiply by i. *)
+        let i01 = !base lor sb and i10 = !base lor sa in
+        let r01 = re.(i01) and x01 = im.(i01) in
+        let r10 = re.(i10) and x10 = im.(i10) in
+        re.(i01) <- -.x10;
+        im.(i01) <- r10;
+        re.(i10) <- -.x01;
+        im.(i10) <- r01;
+        incr base
+      done;
+      m := !m + (2 * sl)
+    done;
+    h := !h + (2 * sh)
+  done
+
+let apply_diag_one t ~d0 ~d1 q =
+  check_qubit t q;
+  let d0r, d0i = d0 and d1r, d1i = d1 in
+  let dim = 1 lsl t.n in
+  let stride = 1 lsl (t.n - 1 - q) in
+  let re = t.re and im = t.im in
+  let idx = ref 0 in
+  while !idx < dim do
+    let block_end = !idx + stride in
+    while !idx < block_end do
+      let i0 = !idx in
+      let i1 = i0 + stride in
+      let r0 = re.(i0) and x0 = im.(i0) in
+      re.(i0) <- (d0r *. r0) -. (d0i *. x0);
+      im.(i0) <- (d0r *. x0) +. (d0i *. r0);
+      let r1 = re.(i1) and x1 = im.(i1) in
+      re.(i1) <- (d1r *. r1) -. (d1i *. x1);
+      im.(i1) <- (d1r *. x1) +. (d1i *. r1);
+      incr idx
+    done;
+    idx := !idx + stride
+  done
+
+let apply_diag_table t ~qs ~fr ~fi =
+  let k = Array.length qs in
+  if k < 1 || k > 16 then invalid_arg "Statevector.apply_diag_table: 1-16 wires";
+  if Array.length fr <> 1 lsl k || Array.length fi <> 1 lsl k then
+    invalid_arg "Statevector.apply_diag_table: table length must be 2^wires";
+  Array.iter (check_qubit t) qs;
+  let shifts = Array.map (fun q -> t.n - 1 - q) qs in
+  let dim = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  for idx = 0 to dim - 1 do
+    let key = ref 0 in
+    for j = 0 to k - 1 do
+      key := (!key lsl 1) lor ((idx lsr shifts.(j)) land 1)
+    done;
+    let cr = fr.(!key) and ci = fi.(!key) in
+    let r = re.(idx) and x = im.(idx) in
+    re.(idx) <- (cr *. r) -. (ci *. x);
+    im.(idx) <- (cr *. x) +. (ci *. r)
   done
 
 let rec apply_gate t (g : Ir.Gate.t) =

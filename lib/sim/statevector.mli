@@ -12,6 +12,12 @@ type t
 (** [init n] is |0...0> on [n] qubits (1 <= n <= 24). *)
 val init : int -> t
 
+(** [of_arrays ~re ~im] adopts (does not copy) the amplitude arrays as a
+    state; both must have the same power-of-two length 2^n with
+    1 <= n <= 24. Used by backends that build amplitudes directly (e.g.
+    {!Stabilizer.to_statevector}). *)
+val of_arrays : re:float array -> im:float array -> t
+
 val n_qubits : t -> int
 
 (** [copy t] is an independent snapshot. *)
@@ -36,6 +42,34 @@ val apply_one : t -> Mathkit.Matrix.t -> int -> unit
     ([a] = high bit of the matrix index) in place. *)
 val apply_two : t -> Mathkit.Matrix.t -> int -> int -> unit
 
+(** [apply_cnot t c x] flips qubit [x] where qubit [c] is 1 — a pure
+    amplitude permutation, no 4x4 product. *)
+val apply_cnot : t -> int -> int -> unit
+
+(** [apply_cz t a b] negates the amplitudes with both qubits 1. *)
+val apply_cz : t -> int -> int -> unit
+
+(** [apply_swap t a b] exchanges the two qubits' amplitudes. *)
+val apply_swap : t -> int -> int -> unit
+
+(** [apply_iswap t a b] swaps the |01>/|10> amplitudes and multiplies
+    each by i. *)
+val apply_iswap : t -> int -> int -> unit
+
+(** [apply_diag_one t ~d0 ~d1 q] applies [diag (d0, d1)] (each a
+    [(re, im)] pair) to qubit [q]: one complex multiply per
+    amplitude. *)
+val apply_diag_one : t -> d0:float * float -> d1:float * float -> int -> unit
+
+(** [apply_diag_table t ~qs ~fr ~fi] applies a diagonal operator over
+    the wires [qs] (1 to 16 distinct qubits, [qs.(0)] = high bit of the
+    table key): amplitude [idx] is multiplied by the complex factor
+    [(fr.(key), fi.(key))] where [key] collects the [qs] bits of [idx].
+    One table lookup and complex multiply per amplitude regardless of
+    how many batched diagonal gates the table folds together. *)
+val apply_diag_table :
+  t -> qs:int array -> fr:float array -> fi:float array -> unit
+
 (** [apply_gate t g] dispatches a non-measure IR gate; raises
     [Invalid_argument] on [Measure]. *)
 val apply_gate : t -> Ir.Gate.t -> unit
@@ -45,9 +79,11 @@ val apply_gate : t -> Ir.Gate.t -> unit
 val run : Ir.Circuit.t -> t
 
 (** [sample t rng] draws a basis-state index from the state's
-    distribution. One-shot convenience over {!sampler} — when drawing
-    many samples from the same state, build the sampler once instead. *)
+    distribution. Rebuilds the O(2^n) cumulative table on {e every}
+    call — callers that draw repeatedly must build a {!sampler} once
+    instead. *)
 val sample : t -> Mathkit.Rng.t -> int
+[@@deprecated "build a Statevector.sampler once and reuse it"]
 
 (** [cdf_index cumulative target] is the index of the bucket a draw of
     [target] selects in a non-decreasing cumulative-mass table: the

@@ -91,10 +91,13 @@ let test_sv_sample_distribution () =
   done;
   let frac = float_of_int !ones /. float_of_int n in
   if Float.abs (frac -. 0.5) > 0.02 then Alcotest.failf "biased sampling: %f" frac;
-  (* The one-shot convenience must agree with a fresh sampler stream. *)
+  (* The deprecated one-shot convenience must keep agreeing with a fresh
+     sampler stream (compat guarantee for external callers). *)
   let r1 = Rng.create 11 and r2 = Rng.create 11 in
   for _ = 1 to 100 do
-    Alcotest.(check int) "sample = sampler" (Sv.sample s r1) (Sv.sampler s r2)
+    Alcotest.(check int) "sample = sampler"
+      ((Sv.sample [@alert "-deprecated"]) s r1)
+      (Sv.sampler s r2)
   done
 
 let test_sv_rejects_measure () =
@@ -406,6 +409,219 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_mitigation_roundtrip; prop_corrupt_preserves_normalization ]
 
+(* ---------- Stabilizer backend & fusion ---------- *)
+
+module Stab = Sim.Stabilizer
+module Fusion = Sim.Fusion
+
+(* Seeded random Clifford gate streams (plain list — the proptest
+   generators are exercised separately by the clifford fuzz oracle). *)
+let random_clifford_gates rng n len =
+  List.init len (fun _ ->
+      if n >= 2 && Rng.bool rng 0.45 then begin
+        let a = Rng.int rng n in
+        let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+        let k = Rng.choose rng [ G.Cnot; G.Cz; G.Swap; G.Iswap ] in
+        G.Two (k, a, b)
+      end
+      else
+        let k = Rng.choose rng [ G.X; G.Y; G.Z; G.H; G.S; G.Sdg ] in
+        G.One (k, Rng.int rng n))
+
+let l1 a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := !d +. Float.abs (x -. b.(i))) a;
+  !d
+
+let test_stab_matches_statevector () =
+  (* Tableau execution must agree with the dense backend exactly:
+     probabilities, and the materialized state up to global phase. *)
+  let rng = Rng.create 91 in
+  for _ = 1 to 40 do
+    let n = 1 + Rng.int rng 4 in
+    let gates = random_clifford_gates rng n (Rng.int rng 15) in
+    let c = circuit n gates in
+    let t = Stab.init n in
+    List.iter (fun g -> assert (Stab.apply_gate t g)) gates;
+    let sv = Sv.run c in
+    Alcotest.(check (float 1e-9))
+      "probabilities" 0.0
+      (l1 (Stab.probabilities t) (Sv.probabilities sv));
+    let mat = Stab.to_statevector t in
+    let overlap = ref Mathkit.Cplx.zero in
+    for i = 0 to (1 lsl n) - 1 do
+      overlap :=
+        Mathkit.Cplx.add !overlap
+          (Mathkit.Cplx.mul (Mathkit.Cplx.conj (Sv.amplitude mat i))
+             (Sv.amplitude sv i))
+    done;
+    Alcotest.(check (float 1e-9))
+      "fidelity" 1.0
+      (Mathkit.Cplx.abs !overlap)
+  done
+
+let test_stab_compiled_apps_match_apply_gate () =
+  (* The table-compiled fast path must evolve the tableau exactly like
+     the generic action path. *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 40 do
+    let n = 1 + Rng.int rng 4 in
+    let gates = random_clifford_gates rng n (1 + Rng.int rng 12) in
+    let slow = Stab.init n and fast = Stab.init n in
+    List.iter
+      (fun g ->
+        assert (Stab.apply_gate slow g);
+        let act = Option.get (Dataflow.Tableau.Action.of_gate g) in
+        let qs = Array.of_list (G.qubits g) in
+        Stab.apply_app fast (Stab.compile_action act qs))
+      gates;
+    Alcotest.(check (float 1e-12))
+      "same distribution" 0.0
+      (l1 (Stab.probabilities slow) (Stab.probabilities fast))
+  done
+
+let test_stab_readout_sign_flips () =
+  (* The frozen-readout sign-flip path — propagate a mid-circuit Pauli
+     to the end as a mask, land it as row sign flips — must match the
+     dense simulation that applies the error explicitly. *)
+  let rng = Rng.create 29 in
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 4 in
+    let len = 1 + Rng.int rng 12 in
+    let gates = random_clifford_gates rng n len in
+    let apps =
+      List.map
+        (fun g ->
+          let act = Option.get (Dataflow.Tableau.Action.of_gate g) in
+          Stab.compile_action act (Array.of_list (G.qubits g)))
+        gates
+    in
+    let t = Stab.init n in
+    List.iter2 (fun _ app -> Stab.apply_app t app) gates apps;
+    let r = Stab.readout t in
+    (* Inject a random Pauli after gate [pos]. *)
+    let pos = Rng.int rng len in
+    let q = Rng.int rng n in
+    let p = Rng.int rng 3 in
+    (* Dense reference: replay with the explicit error. *)
+    let sv = Sv.init n in
+    List.iteri
+      (fun i g ->
+        Sv.apply_gate sv g;
+        if i = pos then
+          let k = match p with 0 -> G.X | 1 -> G.Y | _ -> G.Z in
+          Sv.apply_one sv (Mat.one_q k) q)
+      gates;
+    (* Sign-flip path: conjugate the Pauli mask through the tail. *)
+    let xm = ref (if p = 2 then 0 else 1 lsl q) in
+    let zm = ref (if p = 0 then 0 else 1 lsl q) in
+    List.iteri
+      (fun i app ->
+        if i > pos then begin
+          let x, z = Stab.conjugate_masks app ~xm:!xm ~zm:!zm in
+          xm := x;
+          zm := z
+        end)
+      apps;
+    let flips = Stab.flip_mask r ~xm:!xm in
+    Alcotest.(check (float 1e-9))
+      "erred distribution" 0.0
+      (l1 (Stab.readout_probabilities r ~flips) (Sv.probabilities sv));
+    Alcotest.(check (float 1e-12))
+      "clean distribution" 0.0
+      (l1 (Stab.readout_probabilities r ~flips:0) (Stab.probabilities t))
+  done
+
+let test_fusion_matches_unfused () =
+  (* A fused plan must reproduce the gate-by-gate amplitudes exactly —
+     fusion only reorders commuting work. Mixed Clifford/non-Clifford
+     streams exercise 1Q-run merging, diagonal batching and the
+     permutation kernels. *)
+  let rng = Rng.create 53 in
+  for _ = 1 to 40 do
+    let n = 1 + Rng.int rng 4 in
+    let len = Rng.int rng 16 in
+    let gates =
+      List.init len (fun _ ->
+          if n >= 2 && Rng.bool rng 0.4 then begin
+            let a = Rng.int rng n in
+            let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+            let k = Rng.choose rng [ G.Cnot; G.Cz; G.Swap; G.Iswap; G.Xx 0.42 ] in
+            G.Two (k, a, b)
+          end
+          else
+            let k =
+              Rng.choose rng
+                [ G.H; G.X; G.S; G.T; G.Rz 0.9; G.Rx 0.31; G.U1 1.7 ]
+            in
+            G.One (k, Rng.int rng n))
+    in
+    let members =
+      Array.of_list
+        (List.mapi
+           (fun i g ->
+             let m =
+               match g with
+               | G.One (k, _) -> Mat.one_q k
+               | G.Two (k, _, _) -> Mat.two_q k
+               | _ -> assert false
+             in
+             { Fusion.idx = i; gate = g; matrix = m })
+           gates)
+    in
+    let fused = Sv.init n in
+    Fusion.run_clean fused (Fusion.plan ~n members);
+    let plain = Sv.run (circuit n gates) in
+    for i = 0 to (1 lsl n) - 1 do
+      if
+        not
+          (Mathkit.Cplx.approx ~eps:1e-9 (Sv.amplitude plain i)
+             (Sv.amplitude fused i))
+      then Alcotest.fail "fused amplitudes diverge from unfused"
+    done
+  done
+
+let test_runner_backends_agree () =
+  (* End to end: forcing each backend on a compiled Clifford benchmark
+     must reproduce the Auto dispatch (same seed => same error draws;
+     the tiny gap absorbs the report's 1e-6 truncation). *)
+  let p = Bench_kit.Programs.bv 4 in
+  let compiled =
+    Pipeline.to_compiled
+      (Pipeline.compile_level Machines.ibmq5 p.Bench_kit.Programs.circuit
+         ~level:Pipeline.OneQOptCN)
+  in
+  let run backend fusion =
+    Runner.simulate
+      ~config:
+        (Runner.Config.make ~seed:5 ~trials:400 ~trajectories:50 ~backend
+           ~fusion ())
+      compiled p.Bench_kit.Programs.spec
+  in
+  let auto = run Runner.Config.Auto true in
+  let sv = run Runner.Config.Statevector false in
+  let stab = run Runner.Config.Stabilizer false in
+  let gap a b =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a;
+    let g =
+      List.fold_left
+        (fun acc (k, v) ->
+          let w = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+          Hashtbl.remove tbl k;
+          Float.max acc (Float.abs (v -. w)))
+        0.0 b
+    in
+    (* entries of [a] that [b] lacks *)
+    Hashtbl.fold (fun _ v acc -> Float.max acc v) tbl g
+  in
+  if gap auto.Runner.distribution sv.Runner.distribution > 2e-6 then
+    Alcotest.fail "auto dispatch diverges from forced statevector";
+  if gap auto.Runner.distribution stab.Runner.distribution > 2e-6 then
+    Alcotest.fail "auto dispatch diverges from forced stabilizer";
+  Alcotest.(check (float 2e-6))
+    "success rates" sv.Runner.success_rate auto.Runner.success_rate
+
 let () =
   Alcotest.run "sim"
     [
@@ -452,5 +668,22 @@ let () =
           Alcotest.test_case "readout order" `Quick test_runner_readout_order;
           Alcotest.test_case "esp ordering" `Quick test_runner_better_esp_better_success;
           Alcotest.test_case "sampled counts" `Quick test_runner_sampled_counts;
+        ] );
+      ( "stabilizer",
+        [
+          Alcotest.test_case "matches statevector" `Quick
+            test_stab_matches_statevector;
+          Alcotest.test_case "compiled apps" `Quick
+            test_stab_compiled_apps_match_apply_gate;
+          Alcotest.test_case "readout sign flips" `Quick
+            test_stab_readout_sign_flips;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "matches unfused" `Quick test_fusion_matches_unfused;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "agree end to end" `Quick test_runner_backends_agree;
         ] );
     ]
