@@ -14,6 +14,9 @@
                              and domain-pool histograms from Obs.Metrics)
      main.exe smoke          fast determinism + cache smoke test, plus an
                              enriched-timings-schema gate (runtest)
+     main.exe guard BASE NEW compare two BENCH_timings.json files; exit 1
+                             if NEW's per_pass.mapping.ns_per_compile
+                             exceeds 2x BASE's (the CI regression guard)
 
    -j N sizes the domain pool (default: Domain.recommended_domain_count);
    results are bit-for-bit identical for every N. *)
@@ -126,6 +129,30 @@ let timing_tests =
                   (Triq.Pipeline.compile_level ~config:deep
                      Device.Machines.ibmq14 bv6 ~level)))
           Triq.Pipeline.all_levels)
+  (* Layout-engine stages: each strategy solving the same bv6@IBMQ14
+     mapping problem the per-pass breakdown times (cache bypassed — these
+     measure the engines themselves). *)
+  @ (let open Bechamel in
+     let staged name f = Test.make ~name (Staged.stage f) in
+     let layout_pr =
+       lazy
+         (let machine = Device.Machines.ibmq14 in
+          let reliability =
+            Triq.Reliability.compute_cached ~noise_aware:true machine ~day:0
+          in
+          Triq.Placement.problem reliability
+            (Ir.Decompose.flatten
+               (Bench_kit.Programs.bv 6).Bench_kit.Programs.circuit))
+     in
+     [
+       staged "layout:bb" (fun () -> ignore (Layout.Bb.solve (Lazy.force layout_pr)));
+       staged "layout:smt" (fun () ->
+           ignore (Layout.Smt_search.solve (Lazy.force layout_pr)));
+       staged "layout:greedy" (fun () ->
+           ignore (Layout.Greedy.solve (Lazy.force layout_pr)));
+       staged "layout:portfolio" (fun () ->
+           ignore (Layout.Portfolio.solve (Lazy.force layout_pr)));
+     ])
 
 (* ---------- simulation-backend stages ---------- *)
 
@@ -314,16 +341,52 @@ let cache_effect ?(reps = 50) () =
     hits,
     misses )
 
+(* Layout cache: cold (cache-bypassed) solve vs O(1) cache hit on the
+   bv6@IBMQ14 mapping problem, plus the cache's stats after the run. *)
+let layout_cache_effect ?(reps = 50) () =
+  let machine = Device.Machines.ibmq14 in
+  let reliability =
+    Triq.Reliability.compute_cached ~noise_aware:true machine ~day:0
+  in
+  let flat =
+    Ir.Decompose.flatten (Bench_kit.Programs.bv 6).Bench_kit.Programs.circuit
+  in
+  let solve config =
+    Triq.Placement.solve ~config ~reliability
+      ~machine_name:machine.Device.Machine.name ~day:0 flat
+  in
+  let nocache = Layout.Config.make ~cache:false () in
+  let (), cold_s =
+    wall (fun () ->
+        for _ = 1 to reps do
+          ignore (solve nocache)
+        done)
+  in
+  Triq.Placement.cache_clear ();
+  ignore (solve Layout.Config.default);
+  (* populate: one miss *)
+  let (), hit_s =
+    wall (fun () ->
+        for _ = 1 to reps do
+          ignore (solve Layout.Config.default)
+        done)
+  in
+  let stats = Triq.Placement.cache_stats () in
+  (cold_s /. float_of_int reps, hit_s /. float_of_int reps, stats)
+
 (* Per-pass compile-time attribution from the pass runner (Section 6.5):
    average each schedule pass's wall clock over [reps] compiles of
    bv6@IBMQ14 at TriQ-1QOptCN, so future perf work can attribute wins to
-   individual passes. The reliability cache is cleared first so the
-   reliability pass shows its uncached cost on the first rep. *)
+   individual passes. The reliability and layout caches are cleared first
+   so the reliability and mapping passes show their uncached cost on the
+   first rep (and their steady-state cached cost on the rest — repeated
+   compile traffic is the sweep drivers' common case). *)
 let per_pass_breakdown ?(reps = 20) () =
   let p = Bench_kit.Programs.bv 6 in
   let machine = Device.Machines.ibmq14 in
   let schedule = Triq.Pass.Schedule.of_level Triq.Pipeline.OneQOptCN in
   Triq.Reliability.cache_clear ();
+  Triq.Placement.cache_clear ();
   let totals = Hashtbl.create 16 in
   let order = ref [] in
   for _ = 1 to reps do
@@ -363,7 +426,8 @@ let counter_json name =
   | _ -> Obs.Json.Int 0
 
 let timings_payload stages per_pass (seq_s, par_s, jobs)
-    (unc, cac, hits, misses) (sim_cells_n, sim_traj, base_s, fuse_s, auto_s)
+    (unc, cac, hits, misses) (l_cold, l_hit, l_stats)
+    (sim_cells_n, sim_traj, base_s, fuse_s, auto_s)
     (traj_only_s, shard_s, shard_jobs) =
   let open Obs.Json in
   let ns s = Float (Float.round (s *. 1e9)) in
@@ -418,6 +482,33 @@ let timings_payload stages per_pass (seq_s, par_s, jobs)
                   ("hits", counter_json "triq.reliability.cache.hits");
                   ("misses", counter_json "triq.reliability.cache.misses");
                   ("evictions", counter_json "triq.reliability.cache.evictions");
+                ] );
+          ] );
+      ( "layout_cache",
+        Obj
+          [
+            ("workload", Str "bv6@IBMQ14 mapping problem");
+            ("cold_solve_ns_per_call", ns l_cold);
+            ("hit_ns_per_call", ns l_hit);
+            ( "speedup",
+              if l_hit > 0.0 then Float (l_cold /. l_hit) else Null );
+            ("hits", Int l_stats.Layout.Cache.hits);
+            ("misses", Int l_stats.Layout.Cache.misses);
+            ("evictions", Int l_stats.Layout.Cache.evictions);
+            ("entries", Int l_stats.Layout.Cache.size);
+            ( "counters",
+              Obj
+                [
+                  ("hits", counter_json "layout.cache.hits");
+                  ("misses", counter_json "layout.cache.misses");
+                  ("evictions", counter_json "layout.cache.evictions");
+                ] );
+            ( "portfolio_wins",
+              Obj
+                [
+                  ("bb", counter_json "layout.portfolio.wins.bb");
+                  ("smt", counter_json "layout.portfolio.wins.smt");
+                  ("greedy", counter_json "layout.portfolio.wins.greedy");
                 ] );
           ] );
       ( "simulation",
@@ -483,6 +574,13 @@ let run_timings () =
   Printf.printf
     "reliability matrix: uncached %.0f ns/call, cached %.0f ns/call; fig10 sweep: %d hits, %d misses\n"
     (unc *. 1e9) (cac *. 1e9) hits misses;
+  let lc = layout_cache_effect () in
+  let l_cold, l_hit, l_stats = lc in
+  Printf.printf
+    "layout cache: cold solve %.0f ns/call, hit %.0f ns/call (%.0fx); %d hits, %d misses\n"
+    (l_cold *. 1e9) (l_hit *. 1e9)
+    (if l_hit > 0.0 then l_cold /. l_hit else Float.nan)
+    l_stats.Layout.Cache.hits l_stats.Layout.Cache.misses;
   let be = backend_effect () in
   let cells_n, traj, base_s, fuse_s, auto_s = be in
   Printf.printf
@@ -498,7 +596,7 @@ let run_timings () =
     (traj_only_s *. 1e3) (shard_s *. 1e3) shard_jobs
     (if shard_s > 0.0 then traj_only_s /. shard_s else Float.nan);
   write_timings_json "BENCH_timings.json"
-    (timings_payload stages per_pass sp ce be sh);
+    (timings_payload stages per_pass sp ce lc be sh);
   print_endline "wrote BENCH_timings.json"
 
 (* A CI-fast correctness gate (wired under `dune runtest`): the parallel
@@ -535,10 +633,11 @@ let run_smoke () =
   let per_pass = per_pass_breakdown ~reps:2 () in
   let sp = seq_vs_par ~trajectories:20 () in
   let ce = cache_effect ~reps:5 () in
+  let lc = layout_cache_effect ~reps:5 () in
   let be = backend_effect ~trajectories:10 () in
   let sh = sharding_effect ~trajectories:5 () in
   let path = Filename.temp_file "bench_timings_smoke" ".json" in
-  write_timings_json path (timings_payload [] per_pass sp ce be sh);
+  write_timings_json path (timings_payload [] per_pass sp ce lc be sh);
   let doc =
     Device.Json.parse (In_channel.with_open_text path In_channel.input_all)
   in
@@ -558,6 +657,10 @@ let run_smoke () =
       [ "reliability_cache"; "sweep_misses" ];
       [ "reliability_cache"; "counters"; "hits" ];
       [ "reliability_cache"; "counters"; "misses" ];
+      [ "layout_cache"; "cold_solve_ns_per_call" ];
+      [ "layout_cache"; "hit_ns_per_call" ];
+      [ "layout_cache"; "counters"; "hits" ];
+      [ "layout_cache"; "portfolio_wins"; "bb" ];
       [ "simulation"; "statevector_nofusion_ns" ];
       [ "simulation"; "fusion_speedup" ];
       [ "simulation"; "auto_speedup" ];
@@ -568,7 +671,41 @@ let run_smoke () =
     ];
   print_endline
     "smoke ok: enriched BENCH_timings.json schema (stages, per_pass, \
-     reliability_cache, simulation, pool)"
+     reliability_cache, layout_cache, simulation, pool)"
+
+(* CI regression guard over committed timings: read the mapping pass's
+   ns_per_compile out of two BENCH_timings.json files and fail when the
+   fresh run exceeds twice the committed baseline. *)
+let mapping_ns_per_compile path =
+  let doc =
+    Device.Json.parse (In_channel.with_open_text path In_channel.input_all)
+  in
+  let passes =
+    Device.Json.to_list (Device.Json.member "passes" (Device.Json.member "per_pass" doc))
+  in
+  let rec find = function
+    | [] -> failwith (path ^ ": no \"mapping\" entry under per_pass.passes")
+    | p :: rest ->
+      if Device.Json.to_str (Device.Json.member "name" p) = "mapping" then
+        Device.Json.to_float (Device.Json.member "ns_per_compile" p)
+      else find rest
+  in
+  find passes
+
+let run_guard baseline fresh =
+  let base_ns = mapping_ns_per_compile baseline in
+  let fresh_ns = mapping_ns_per_compile fresh in
+  let limit = 2.0 *. base_ns in
+  Printf.printf
+    "guard: per_pass.mapping.ns_per_compile baseline %.0f ns, fresh %.0f ns, limit %.0f ns\n"
+    base_ns fresh_ns limit;
+  if fresh_ns > limit then begin
+    Printf.eprintf
+      "GUARD FAIL: mapping pass regressed to %.2fx the committed baseline\n"
+      (fresh_ns /. base_ns);
+    exit 1
+  end;
+  print_endline "guard ok: mapping pass within 2x of the committed baseline"
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -589,6 +726,7 @@ let () =
   match args with
   | [ "timings" ] -> run_timings ()
   | [ "smoke" ] -> run_smoke ()
+  | [ "guard"; baseline; fresh ] -> run_guard baseline fresh
   | [ "quick" ] ->
     List.iter
       (fun ((_, f) : string * (?trajectories:int -> unit -> unit)) ->
@@ -598,7 +736,7 @@ let () =
     match List.assoc_opt name experiments with
     | Some (f : ?trajectories:int -> unit -> unit) -> f ()
     | None ->
-      Printf.eprintf "unknown experiment %S; known: %s timings quick smoke\n" name
+      Printf.eprintf "unknown experiment %S; known: %s timings quick smoke guard\n" name
         (String.concat " " (List.map fst experiments));
       exit 2)
   | _ ->

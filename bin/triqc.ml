@@ -247,6 +247,23 @@ let compile_cmd =
              value) or 'deep' (adds dataflow translation validation: readout \
              liveness and Clifford tableau equivalence after every pass).")
   in
+  let mapper_arg =
+    let doc =
+      "Layout strategy for the mapping pass: 'bb' (branch-and-bound, the \
+       default), 'smt' (incremental SAT threshold search), 'greedy' \
+       (degree-ordered seeder) or 'portfolio' (race bb and smt in parallel, \
+       seeded by greedy)."
+    in
+    Arg.(value & opt string "bb" & info [ "mapper" ] ~docv:"STRATEGY" ~doc)
+  in
+  let no_layout_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-layout-cache" ]
+          ~doc:
+            "Bypass the process-wide layout cache (canonical interaction-graph \
+             keyed placement reuse) for this compile.")
+  in
   let passes_arg =
     let doc =
       "Run exactly this comma-separated pass list instead of the level's named \
@@ -258,15 +275,26 @@ let compile_cmd =
     let doc = "Remove an optional pass from the schedule (repeatable)." in
     Arg.(value & opt_all string [] & info [ "disable-pass" ] ~docv:"NAME" ~doc)
   in
-  let run file machine_name level_name day router_name peephole validate passes
-      disabled trace =
+  let run file machine_name level_name day router_name mapper_name
+      no_layout_cache peephole validate passes disabled trace =
     with_trace trace @@ fun () ->
     let ( let* ) = Result.bind in
     let result =
       let* machine, level, program = compile_common file machine_name level_name in
       let* router = find_router router_name in
+      let* mapper =
+        match Layout.Config.strategy_of_string mapper_name with
+        | Some s -> Ok s
+        | None ->
+          Error
+            (Printf.sprintf "unknown mapper %S (expected %s)" mapper_name
+               (String.concat ", " Layout.Config.strategy_names))
+      in
       let* validate = find_validation validate in
-      let config = Triq.Pass.Config.make ~day ~router ~peephole ~validate () in
+      let config =
+        Triq.Pass.Config.make ~day ~router ~mapper
+          ~layout_cache:(not no_layout_cache) ~peephole ~validate ()
+      in
       let* schedule = build_schedule ~config ~level passes disabled in
       Ok
         (Triq.Pipeline.compile_schedule ~config machine
@@ -286,7 +314,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const run $ file_arg $ machine_arg $ level_arg $ day_arg $ router_arg
-      $ peephole_arg $ validate_arg $ passes_arg $ disable_arg $ trace_args)
+      $ mapper_arg $ no_layout_cache_arg $ peephole_arg $ validate_arg
+      $ passes_arg $ disable_arg $ trace_args)
 
 let passes_cmd =
   let run () =
@@ -1083,7 +1112,7 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Run a single oracle (roundtrip, semantic, dataflow, schedule, \
-       determinism, clifford) instead of the whole catalog."
+       determinism, clifford, layout) instead of the whole catalog."
     in
     Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in

@@ -537,20 +537,30 @@ let run_all ?trajectories () =
 
 (* Mapper-objective ablation (Section 4.3's scalability argument): the
    max-min objective prunes far earlier than the whole-graph product
-   objective, at equal or better mapped quality. *)
+   objective, at equal or better mapped quality. Runs the layout engines
+   directly (the rows keep the legacy [Mapper.result] shape). *)
 let ablation_mapper_data ?(node_budget = 200_000) () =
   let machine = Machines.ibmq16 in
   let calibration = Machine.calibration machine ~day:0 in
   let reliability = Triq.Reliability.compute ~noise_aware:true machine calibration in
+  let legacy (r : Layout.Report.t) =
+    {
+      Triq.Mapper.placement = r.Layout.Report.placement;
+      objective = r.Layout.Report.objective;
+      nodes_explored = Layout.Report.legacy_nodes r;
+      optimal = r.Layout.Report.proven_optimal;
+    }
+  in
   pfilter_map
     (fun (p : Programs.t) ->
       if not (Machine.fits machine p.Programs.circuit) then None
       else begin
         let flat = Ir.Decompose.flatten p.Programs.circuit in
-        let run objective = Triq.Mapper.solve ~node_budget ~objective reliability flat in
-        let max_min = run Triq.Mapper.Max_min in
-        let product = run Triq.Mapper.Product in
-        let smt = Triq.Mapper_smt.solve reliability flat in
+        let problem objective = Triq.Placement.problem ~objective reliability flat in
+        let run objective = legacy (Layout.Bb.solve ~node_budget (problem objective)) in
+        let max_min = run Layout.Problem.Max_min in
+        let product = run Layout.Problem.Product in
+        let smt = legacy (Layout.Smt_search.solve (problem Layout.Problem.Max_min)) in
         Some (p.Programs.name, max_min, product, smt)
       end)
     (benches ())
@@ -775,7 +785,11 @@ let hybrid_routing_compile ?(day = 0) machine (p : Programs.t) =
   let unaware =
     Triq.Reliability.compute_cached ~noise_aware:false ~calibration machine ~day
   in
-  let placement = (Triq.Mapper.solve aware flat).Triq.Mapper.placement in
+  let placement =
+    (Triq.Placement.solve ~reliability:aware ~machine_name:machine.Machine.name
+       ~day flat)
+      .Layout.Report.placement
+  in
   let routed = Triq.Router.route unaware machine.Machine.topology ~placement flat in
   Baselines.Common.finalize ~compiler:"TriQ-hybrid" ~routed:routed.Triq.Router.circuit
     ~initial_placement:placement ~final_placement:routed.Triq.Router.final_placement

@@ -49,152 +49,32 @@ let evaluate reliability (c : Ir.Circuit.t) placement =
     measured;
   (!min_rel, !log_prod)
 
-(* Program qubits in decreasing connectivity order: placing the busiest
-   qubits first makes pruning bite early. *)
-let placement_order n_program pairs measured =
-  let weight = Array.make n_program 0 in
-  List.iter
-    (fun ((a, b), count) ->
-      weight.(a) <- weight.(a) + count + 10;
-      weight.(b) <- weight.(b) + count + 10)
-    pairs;
-  List.iter (fun m -> weight.(m) <- weight.(m) + 1) measured;
-  let order = Array.init n_program (fun i -> i) in
-  Array.sort (fun a b -> compare (weight.(b), a) (weight.(a), b)) order;
-  order
-
+(* Compat wrapper: the search itself now lives in Layout.Bb (generalized
+   over Layout.Problem.t, with additional sound pruning); this entry point
+   keeps the original signature, result shape, and bit-identical
+   placements. *)
 let solve ?(node_budget = 200_000) ?(objective = Max_min) reliability (c : Ir.Circuit.t) =
   let n_program = c.Ir.Circuit.n_qubits in
   let n_hardware = Reliability.n_qubits reliability in
   if n_program > n_hardware then
     Analysis.Diag.invalid ~rule:"circuit.bounds" ~layer:"mapping"
       "%d-qubit program does not fit a %d-qubit device" n_program n_hardware;
-  let pairs = interactions c in
-  let measured = Ir.Circuit.measured_qubits c in
-  let measured_set = Array.make n_program false in
-  List.iter (fun m -> measured_set.(m) <- true) measured;
-  (* partners.(p) = [(other_program_qubit, oriented, count)], oriented true
-     when p is the first operand of the pair. *)
-  let partners = Array.make n_program [] in
-  List.iter
-    (fun ((a, b), count) ->
-      partners.(a) <- (b, true, count) :: partners.(a);
-      partners.(b) <- (a, false, count) :: partners.(b))
-    pairs;
-  let order = placement_order n_program pairs measured in
-  let placement = Array.make n_program (-1) in
-  let used = Array.make n_hardware false in
-  let nodes = ref 0 in
-  let truncated = ref false in
-  let best_placement = ref None in
-  let best_min = ref (-1.0) in
-  let best_log = ref neg_infinity in
-  (* Seed the incumbent with the trivial placement: it is often already
-     good when the program's interaction graph matches the device (and it
-     makes the very first pruning bound non-trivial). *)
-  let () =
-    let trivial_placement = trivial ~n_program ~n_hardware in
-    let m, lp = evaluate reliability c trivial_placement in
-    best_placement := Some trivial_placement;
-    best_min := m;
-    best_log := lp
+  let problem =
+    Layout.Problem.make
+      ~objective:
+        (match objective with
+        | Max_min -> Layout.Problem.Max_min
+        | Product -> Layout.Problem.Product)
+      ~n_program ~n_hardware ~pairs:(interactions c)
+      ~measured:(Ir.Circuit.measured_qubits c)
+      ~score:(Reliability.score reliability)
+      ~readout:(Reliability.readout_reliability reliability)
+      ()
   in
-  (* Incremental cost of placing program qubit [p] on hardware qubit [h]
-     against already-placed neighbours; (min, log-product) delta. *)
-  let placement_cost p h =
-    let min_rel = ref 1.0 and log_prod = ref 0.0 in
-    let account r count =
-      if r < !min_rel then min_rel := r;
-      log_prod := !log_prod +. (float_of_int count *. log (Float.max r log_floor))
-    in
-    List.iter
-      (fun (other, oriented, count) ->
-        let oh = placement.(other) in
-        if oh >= 0 then
-          let r =
-            if oriented then Reliability.score reliability h oh
-            else Reliability.score reliability oh h
-          in
-          account r count)
-      partners.(p);
-    if measured_set.(p) then account (Reliability.readout_reliability reliability h) 1;
-    (!min_rel, !log_prod)
-  in
-  let rec search depth cur_min cur_log =
-    if !truncated then ()
-    else if depth = n_program then begin
-      let better =
-        match objective with
-        | Max_min ->
-          cur_min > !best_min +. 1e-12
-          || (cur_min > !best_min -. 1e-12 && cur_log > !best_log)
-        | Product ->
-          cur_log > !best_log
-          || (cur_log = !best_log && cur_min > !best_min +. 1e-12)
-      in
-      if better then begin
-        best_min := cur_min;
-        best_log := cur_log;
-        best_placement := Some (Array.copy placement)
-      end
-    end
-    else begin
-      let p = order.(depth) in
-      (* Candidate hardware qubits, best local cost first. *)
-      let viable next_min next_log =
-        match objective with
-        | Max_min ->
-          (* The running min can only shrink deeper in the tree, so a
-             branch already at or below the incumbent (minus tie-break
-             tolerance) can be discarded — the pruning rule the paper
-             relies on, and the reason this objective scales. *)
-          !best_placement = None || next_min >= !best_min -. 1e-12
-        | Product ->
-          (* The log-product also only decreases, but near-1 reliabilities
-             keep it close to 0 for a long time, so this bound bites far
-             later — the paper's scalability argument against the product
-             objective, measurable via [nodes_explored]. *)
-          !best_placement = None || next_log > !best_log
-      in
-      let candidates = ref [] in
-      for h = 0 to n_hardware - 1 do
-        if not used.(h) then begin
-          let m, lp = placement_cost p h in
-          if viable (Float.min cur_min m) (cur_log +. lp) then
-            candidates := (m, lp, h) :: !candidates
-        end
-      done;
-      let candidates =
-        let by_min (m1, l1, _) (m2, l2, _) = compare (m2, l2) (m1, l1) in
-        let by_log (m1, l1, _) (m2, l2, _) = compare (l2, m2) (l1, m1) in
-        List.sort (match objective with Max_min -> by_min | Product -> by_log) !candidates
-      in
-      List.iter
-        (fun (m, lp, h) ->
-          if not !truncated then begin
-            incr nodes;
-            if !nodes > node_budget then truncated := true
-            else begin
-              let next_min = Float.min cur_min m in
-              if viable next_min (cur_log +. lp) then begin
-                placement.(p) <- h;
-                used.(h) <- true;
-                search (depth + 1) next_min (cur_log +. lp);
-                used.(h) <- false;
-                placement.(p) <- -1
-              end
-            end
-          end)
-        candidates
-    end
-  in
-  search 0 1.0 0.0;
-  match !best_placement with
-  | Some pl ->
-    { placement = pl; objective = !best_min; nodes_explored = !nodes; optimal = not !truncated }
-  | None ->
-    (* Budget too small to finish even one assignment: fall back to the
-       greedy (first-candidate) dive, which the search visited first. *)
-    let pl = trivial ~n_program ~n_hardware in
-    let m, _ = evaluate reliability c pl in
-    { placement = pl; objective = m; nodes_explored = !nodes; optimal = false }
+  let r = Layout.Bb.solve ~node_budget problem in
+  {
+    placement = r.Layout.Report.placement;
+    objective = r.Layout.Report.objective;
+    nodes_explored = r.Layout.Report.work.Layout.Report.search_nodes;
+    optimal = r.Layout.Report.proven_optimal;
+  }

@@ -42,9 +42,15 @@ val trivial : n_program:int -> n_hardware:int -> int array
 (** [solve ?node_budget ?objective reliability circuit] searches for the
     placement of [circuit]'s program qubits optimizing [objective]
     (default [Max_min]) over the reliabilities of every 2Q interaction and
-    readout. Default budget: 200_000 nodes. *)
+    readout. Default budget: 200_000 nodes.
+
+    Deprecated compat wrapper: the search itself lives in
+    [Layout.Bb.solve]; this entry lowers the circuit via [Placement] and
+    collapses the structured {!Layout.Report.t} back into {!result}.
+    Placements are bit-identical to the historical implementation. *)
 val solve :
   ?node_budget:int -> ?objective:objective -> Reliability.t -> Ir.Circuit.t -> result
+[@@deprecated "use Placement.solve (or Layout.Bb.solve on a lowered problem)"]
 
 (** [evaluate reliability circuit placement] is the (min, log-product)
     objective pair of a complete placement — exposed for tests and for

@@ -1,96 +1,26 @@
-module Solver = Smt.Solver
+(* Compat wrapper: the descending-threshold search now lives in
+   Layout.Smt_search, which reuses structural clauses across thresholds
+   via Smt.Solver push/pop scopes instead of re-encoding per threshold.
+   Results (placement, objective, SAT decision counts) are identical to
+   the original from-scratch encoding — the DPLL search depends only on
+   the clause set. *)
 
 let solve reliability (c : Ir.Circuit.t) =
   let n_program = c.Ir.Circuit.n_qubits in
   let n_hardware = Reliability.n_qubits reliability in
   if n_program > n_hardware then
     invalid_arg "Mapper_smt.solve: program does not fit on device";
-  let pairs = Mapper.interactions c in
-  let measured = Ir.Circuit.measured_qubits c in
-  let var p h = (p * n_hardware) + h + 1 in
-  let total_decisions = ref 0 in
-  (* Candidate thresholds: every reliability value that can constrain the
-     minimum. Sorted ascending; binary search for the largest SAT one. *)
-  let candidates =
-    let scores = ref [] in
-    for h1 = 0 to n_hardware - 1 do
-      for h2 = 0 to n_hardware - 1 do
-        if h1 <> h2 then scores := Reliability.score reliability h1 h2 :: !scores
-      done
-    done;
-    if measured <> [] then
-      for h = 0 to n_hardware - 1 do
-        scores := Reliability.readout_reliability reliability h :: !scores
-      done;
-    List.sort_uniq Float.compare !scores
+  let problem =
+    Layout.Problem.make ~n_program ~n_hardware ~pairs:(Mapper.interactions c)
+      ~measured:(Ir.Circuit.measured_qubits c)
+      ~score:(Reliability.score reliability)
+      ~readout:(Reliability.readout_reliability reliability)
+      ()
   in
-  let satisfiable threshold =
-    let solver = Solver.create (n_program * n_hardware) in
-    (* Structure: total assignment, injective. *)
-    for p = 0 to n_program - 1 do
-      Solver.exactly_one solver (List.init n_hardware (fun h -> var p h))
-    done;
-    for h = 0 to n_hardware - 1 do
-      Solver.at_most_one solver (List.init n_program (fun p -> var p h))
-    done;
-    (* Reliability floor: forbid placements scoring below the threshold. *)
-    List.iter
-      (fun ((a, b), _count) ->
-        for h1 = 0 to n_hardware - 1 do
-          for h2 = 0 to n_hardware - 1 do
-            if h1 <> h2 && Reliability.score reliability h1 h2 < threshold then
-              Solver.add_clause solver [ -var a h1; -var b h2 ]
-          done
-        done)
-      pairs;
-    List.iter
-      (fun m ->
-        for h = 0 to n_hardware - 1 do
-          if Reliability.readout_reliability reliability h < threshold then
-            Solver.add_clause solver [ -var m h ]
-        done)
-      measured;
-    let outcome = Solver.solve solver in
-    total_decisions := !total_decisions + Solver.decisions solver;
-    match outcome with
-    | Solver.Sat model ->
-      let placement =
-        Array.init n_program (fun p ->
-            let rec find h =
-              if h >= n_hardware then
-                invalid_arg "Mapper_smt: model assigns no hardware qubit"
-              else if model.(var p h) then h
-              else find (h + 1)
-            in
-            find 0)
-      in
-      Some placement
-    | Solver.Unsat -> None
-  in
-  (* Threshold 0 (no floor) is always satisfiable for fitting programs. *)
-  let base =
-    match satisfiable 0.0 with
-    | Some placement -> placement
-    | None -> invalid_arg "Mapper_smt: unsatisfiable structure constraints"
-  in
-  let candidates = Array.of_list candidates in
-  (* Find the largest candidate threshold that is still satisfiable:
-     invariant lo is SAT (with best_placement), hi bound is the first
-     known-UNSAT index (or one past the end). *)
-  let best_placement = ref base in
-  let lo = ref (-1) and hi = ref (Array.length candidates) in
-  while !hi - !lo > 1 do
-    let mid = (!lo + !hi) / 2 in
-    match satisfiable candidates.(mid) with
-    | Some placement ->
-      best_placement := placement;
-      lo := mid
-    | None -> hi := mid
-  done;
-  let min_rel, _ = Mapper.evaluate reliability c !best_placement in
+  let r = Layout.Smt_search.solve problem in
   {
-    Mapper.placement = !best_placement;
-    objective = min_rel;
-    nodes_explored = !total_decisions;
-    optimal = true;
+    Mapper.placement = r.Layout.Report.placement;
+    objective = r.Layout.Report.objective;
+    nodes_explored = r.Layout.Report.work.Layout.Report.sat_decisions;
+    optimal = r.Layout.Report.proven_optimal;
   }

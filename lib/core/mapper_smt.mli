@@ -16,5 +16,10 @@
 
 (** [solve reliability circuit] maps the flattened [circuit]. The result's
     [nodes_explored] reports total SAT decisions across the threshold
-    search; [optimal] is always true (the search is exact). *)
+    search; [optimal] is always true (the search is exact).
+
+    Deprecated compat wrapper over [Layout.Smt_search.solve]; results
+    (placement, objective, decision counts) are identical to the
+    historical from-scratch-per-threshold implementation. *)
 val solve : Reliability.t -> Ir.Circuit.t -> Mapper.result
+[@@deprecated "use Placement.solve ~config:{strategy = Smt} (or Layout.Smt_search.solve)"]

@@ -30,18 +30,32 @@ module Config = struct
 
   type t = {
     day : int;
-    node_budget : int option;
+    layout : Layout.Config.t;
     router : router;
     peephole : bool;
     validate : validation;
   }
 
   let default =
-    { day = 0; node_budget = None; router = Default; peephole = false; validate = Off }
+    {
+      day = 0;
+      layout = Layout.Config.default;
+      router = Default;
+      peephole = false;
+      validate = Off;
+    }
 
-  let make ?(day = 0) ?node_budget ?(router = Default) ?(peephole = false)
-      ?(validate = Off) () =
-    { day; node_budget; router; peephole; validate }
+  let make ?(day = 0) ?node_budget ?mapper ?layout_cache ?layout
+      ?(router = Default) ?(peephole = false) ?(validate = Off) () =
+    let layout =
+      match layout with
+      | Some l -> l
+      | None ->
+        Layout.Config.make
+          ?strategy:mapper ?node_budget
+          ?cache:layout_cache ()
+    in
+    { day; layout; router; peephole; validate }
 
   let router_name = function Default -> "default" | Lookahead -> "lookahead"
 
@@ -75,8 +89,7 @@ type state = {
   reliability : Reliability.t option;
   initial_placement : int array;
   final_placement : int array;
-  mapper_nodes : int;
-  mapper_optimal : bool;
+  layout : Layout.Report.t option;
   swap_count : int;
   flipped_cnots : int;
   readout_map : (int * int) list;
@@ -161,8 +174,7 @@ let mapping_trivial =
           initial_placement =
             Mapper.trivial ~n_program:s.circuit.Ir.Circuit.n_qubits
               ~n_hardware:(Machine.n_qubits s.machine);
-          mapper_nodes = 0;
-          mapper_optimal = true;
+          layout = None;
         });
     checks = placement_checks "initial placement";
   }
@@ -170,19 +182,20 @@ let mapping_trivial =
 let mapping_solver =
   {
     name = "mapping";
-    about = "branch-and-bound max-min reliability placement (1QOptC/CN)";
+    about = "max-min reliability placement via the layout engine (1QOptC/CN)";
     optional = true;
     run =
       (fun s ->
         let r =
-          Mapper.solve ?node_budget:s.config.Config.node_budget (reliability_exn s)
+          Placement.solve ~config:s.config.Config.layout
+            ~reliability:(reliability_exn s)
+            ~machine_name:s.machine.Machine.name ~day:s.config.Config.day
             s.circuit
         in
         {
           s with
-          initial_placement = r.Mapper.placement;
-          mapper_nodes = r.Mapper.nodes_explored;
-          mapper_optimal = r.Mapper.optimal;
+          initial_placement = r.Layout.Report.placement;
+          layout = Some r;
         });
     checks = placement_checks "initial placement";
   }
@@ -371,7 +384,7 @@ let catalog =
   [
     ("flatten", "decompose Toffoli/Fredkin into the 1Q + CNOT IR");
     ("reliability", "build the reliability matrix (calibration or device-average)");
-    ("mapping", "place program qubits on hardware (identity or branch-and-bound) [optional]");
+    ("mapping", "place program qubits on hardware (identity or layout engine) [optional]");
     ("routing", "insert SWAPs along most-reliable paths");
     ("swap-expansion", "expand SWAPs into native 2Q sequences");
     ("peephole", "cancel adjacent self-inverse 2Q pairs [optional]");
@@ -486,8 +499,7 @@ let init ~config machine circuit =
     reliability = None;
     initial_placement = trivial;
     final_placement = Array.copy trivial;
-    mapper_nodes = 0;
-    mapper_optimal = true;
+    layout = None;
     swap_count = 0;
     flipped_cnots = 0;
     readout_map = [];

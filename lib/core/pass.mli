@@ -45,8 +45,11 @@ module Config : sig
 
   type t = {
     day : int;  (** calibration day to compile against *)
-    node_budget : int option;
-        (** mapper search budget per instance (None = mapper default) *)
+    layout : Layout.Config.t;
+        (** layout-engine options for the mapping pass: strategy
+            (bb/smt/greedy/portfolio), work budget, cache toggle — the
+            one typed record shared with [Pipeline] (the former
+            [node_budget]/[mapper_nodes]/[mapper_optimal] trio) *)
     router : router;
     peephole : bool;
         (** insert the adjacent self-inverse 2Q cancellation pass after
@@ -57,13 +60,19 @@ module Config : sig
             the pass that introduced a violation *)
   }
 
-  (** Day 0, default node budget, default router, no peephole, no
-      validation — the options [Pipeline.compile] defaults to. *)
+  (** Day 0, default layout config (B&B, default budget, cache on),
+      default router, no peephole, no validation — the options
+      [Pipeline.compile] defaults to. *)
   val default : t
 
+  (** [?node_budget], [?mapper] and [?layout_cache] populate the [layout]
+      record piecewise; [?layout] supplies it whole (and wins). *)
   val make :
     ?day:int ->
     ?node_budget:int ->
+    ?mapper:Layout.Config.strategy ->
+    ?layout_cache:bool ->
+    ?layout:Layout.Config.t ->
     ?router:router ->
     ?peephole:bool ->
     ?validate:validation ->
@@ -102,8 +111,9 @@ type state = {
   reliability : Reliability.t option;  (** set by the reliability pass *)
   initial_placement : int array;
   final_placement : int array;
-  mapper_nodes : int;
-  mapper_optimal : bool;
+  layout : Layout.Report.t option;
+      (** the mapping pass's structured report ([None] for the identity
+          mapping of levels N/1QOpt) *)
   swap_count : int;
   flipped_cnots : int;
   readout_map : (int * int) list;
@@ -150,8 +160,9 @@ val reliability : noise_aware:bool -> t
 (** ["mapping"]: identity placement (levels N / 1QOpt). *)
 val mapping_trivial : t
 
-(** ["mapping"]: branch-and-bound max-min reliability placement,
-    bounded by [config.node_budget] (levels 1QOptC / 1QOptCN). *)
+(** ["mapping"]: max-min reliability placement via the layout engine —
+    strategy, budget and cache behaviour come from [config.layout]
+    (levels 1QOptC / 1QOptCN). *)
 val mapping_solver : t
 
 (** ["routing"]: reliability-path SWAP insertion with the given

@@ -21,8 +21,7 @@ type t = {
   pulse_count : int;
   flipped_cnots : int;
   esp : float;
-  mapper_nodes : int;
-  mapper_optimal : bool;
+  layout : Layout.Report.t option;
   compile_time_s : float;
   pass_times_s : (string * float) list;
 }
@@ -46,8 +45,7 @@ let of_outcome ~level (o : Pass.outcome) =
     flipped_cnots = s.Pass.flipped_cnots;
     esp =
       estimated_success_probability s.Pass.machine s.Pass.calibration s.Pass.circuit;
-    mapper_nodes = s.Pass.mapper_nodes;
-    mapper_optimal = s.Pass.mapper_optimal;
+    layout = s.Pass.layout;
     compile_time_s = o.Pass.compile_time_s;
     pass_times_s = o.Pass.pass_times_s;
   }
@@ -68,7 +66,9 @@ let compile ?(day = 0) ?node_budget ?(peephole = false) ?(router = `Default)
     | `Lookahead -> Pass.Config.Lookahead
   in
   let validate = if validate then Pass.Config.Shape else Pass.Config.Off in
-  let config = { Pass.Config.day; node_budget; router; peephole; validate } in
+  let config =
+    Pass.Config.make ~day ?node_budget ~router ~peephole ~validate ()
+  in
   compile_level ~config machine circuit ~level
 
 let to_compiled t =

@@ -46,8 +46,10 @@ type t = {
   pulse_count : int;  (** physical X/Y pulses (Figure 8's metric) *)
   flipped_cnots : int;  (** CNOTs reoriented for directed couplings *)
   esp : float;  (** estimated success probability under the calibration *)
-  mapper_nodes : int;
-  mapper_optimal : bool;
+  layout : Layout.Report.t option;
+      (** the mapping pass's structured layout report — strategy, work
+          counters, optimality and cache status ([None] for the identity
+          mapping of levels N/1QOpt) *)
   compile_time_s : float;
   pass_times_s : (string * float) list;
       (** per-pass wall time keyed by {!Pass.t} canonical names, in
@@ -58,7 +60,7 @@ type t = {
     named schedule on a program circuit (which may contain
     Toffoli/Fredkin etc.; it is flattened first) under [config] (default
     {!Pass.Config.default}): [level] selects {!Pass.Schedule.of_level}
-    and the config's [day]/[node_budget]/[router]/[peephole]/[validate]
+    and the config's [day]/[layout]/[router]/[peephole]/[validate]
     knobs apply exactly as documented on {!Pass.Config.t}.
 
     Raises [Invalid_argument] if the program has more qubits than the

@@ -1,0 +1,134 @@
+(* Canonical forms of program interaction graphs.
+
+   The cache must recognize that two circuits whose interaction
+   multigraphs differ only by a program-qubit relabeling are the same
+   placement problem. We canonicalize the directed multigraph (edge
+   orientation matters: scores are directed) with Weisfeiler-Leman color
+   refinement plus individualization on ties, bounded by a refinement
+   budget; when the budget trips (pathologically symmetric graphs) the
+   tie-break falls back to original qubit indices.
+
+   Correctness never depends on the canonicalization being complete: a
+   lookup verifies *structural equality of the stored canonical form*, so
+   an imperfect canon can only cost cache hits, never produce wrong
+   ones. *)
+
+type form = {
+  n : int;
+  edges : (int * int * int) array;  (* (from, to, count) in canonical labels *)
+  measured : bool array;
+}
+
+type t = { form : form; perm : int array; hash : int }
+
+let equal_form (a : form) (b : form) =
+  a.n = b.n && a.edges = b.edges && a.measured = b.measured
+
+(* One refinement round: recolor by (color, sorted out-profile, sorted
+   in-profile, individualization mark), ranking distinct signatures in
+   sorted order so color ids are isomorphism-invariant. Returns the new
+   coloring and its distinct-color count. *)
+let refine_once n out_adj in_adj marks colors =
+  let signature q =
+    let profile adj =
+      List.sort compare (List.map (fun (o, c) -> (colors.(o), c)) adj.(q))
+    in
+    (colors.(q), marks.(q), profile out_adj, profile in_adj)
+  in
+  let sigs = Array.init n signature in
+  let distinct = List.sort_uniq compare (Array.to_list sigs) in
+  let rank = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.replace rank s i) distinct;
+  (Array.map (fun s -> Hashtbl.find rank s) sigs, List.length distinct)
+
+let refine n out_adj in_adj marks colors =
+  let colors = ref colors in
+  let classes = ref 0 in
+  let stable = ref false in
+  while not !stable do
+    let colors', classes' = refine_once n out_adj in_adj marks !colors in
+    if classes' = !classes then stable := true;
+    colors := colors';
+    classes := classes'
+  done;
+  (!colors, !classes)
+
+let form_of_colors ~n ~pairs ~measured_flags perm_of_colors =
+  let perm = perm_of_colors in
+  let edges =
+    Array.of_list (List.map (fun ((a, b), c) -> (perm.(a), perm.(b), c)) pairs)
+  in
+  Array.sort compare edges;
+  let measured = Array.make n false in
+  Array.iteri (fun q m -> if m then measured.(perm.(q)) <- true) measured_flags;
+  { n; edges; measured }
+
+(* Total refinement budget per canonicalization; beyond it we stop
+   branching and break remaining ties by original qubit index. *)
+let refine_budget = 128
+
+let of_interactions ~n ~pairs ~measured =
+  let out_adj = Array.make n [] and in_adj = Array.make n [] in
+  List.iter
+    (fun ((a, b), c) ->
+      out_adj.(a) <- (b, c) :: out_adj.(a);
+      in_adj.(b) <- (a, c) :: in_adj.(b))
+    pairs;
+  let measured_flags = Array.make n false in
+  List.iter (fun m -> measured_flags.(m) <- true) measured;
+  let budget = ref refine_budget in
+  (* Returns the minimal (form, perm) reachable from this coloring, or the
+     index-tie-break fallback once the budget is exhausted. *)
+  let rec canonize marks colors =
+    decr budget;
+    let colors, classes = refine n out_adj in_adj marks colors in
+    if classes = n || !budget <= 0 then begin
+      (* Discrete (or out of budget): order qubits by (color, index). *)
+      let qubits = Array.init n (fun q -> q) in
+      Array.sort (fun a b -> compare (colors.(a), a) (colors.(b), b)) qubits;
+      let perm = Array.make n 0 in
+      Array.iteri (fun label q -> perm.(q) <- label) qubits;
+      (form_of_colors ~n ~pairs ~measured_flags perm, perm)
+    end
+    else begin
+      (* Individualize each member of the first tied class; keep the
+         lexicographically smallest resulting form. *)
+      let target =
+        let count = Hashtbl.create 8 in
+        Array.iter
+          (fun c ->
+            Hashtbl.replace count c
+              (1 + Option.value ~default:0 (Hashtbl.find_opt count c)))
+          colors;
+        let best = ref max_int in
+        Array.iter
+          (fun c -> if c < !best && Hashtbl.find count c > 1 then best := c)
+          colors;
+        !best
+      in
+      let members = ref [] in
+      Array.iteri (fun q c -> if c = target then members := q :: !members) colors;
+      let members = List.rev !members in
+      let level = 1 + Array.fold_left max 0 marks in
+      List.fold_left
+        (fun best q ->
+          if !budget <= 0 && best <> None then best
+          else begin
+            let marks' = Array.copy marks in
+            marks'.(q) <- level;
+            let candidate = canonize marks' colors in
+            match best with
+            | None -> Some candidate
+            | Some (bf, _) when compare (fst candidate) bf < 0 -> Some candidate
+            | Some _ -> best
+          end)
+        None members
+      |> Option.get
+    end
+  in
+  let form, perm = canonize (Array.make n 0) (Array.make n 0) in
+  { form; perm; hash = Hashtbl.hash form }
+
+let of_problem (pr : Problem.t) =
+  of_interactions ~n:pr.Problem.n_program ~pairs:pr.Problem.pairs
+    ~measured:pr.Problem.measured

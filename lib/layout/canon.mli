@@ -1,0 +1,28 @@
+(** Canonical forms of directed program-interaction multigraphs, for the
+    layout cache.
+
+    Isomorphic relabelings of program qubits canonicalize to the same
+    {!form} (up to a bounded refinement budget on pathologically symmetric
+    graphs); the cache verifies structural equality of stored forms on
+    every hit, so an incomplete canonicalization can only cost hit rate,
+    never correctness. *)
+
+type form = {
+  n : int;
+  edges : (int * int * int) array;
+      (** (from, to, count) in canonical labels, sorted *)
+  measured : bool array;  (** per canonical qubit *)
+}
+
+type t = {
+  form : form;
+  perm : int array;  (** original program qubit -> canonical label *)
+  hash : int;  (** of [form]; the cache's bucket key *)
+}
+
+val equal_form : form -> form -> bool
+
+val of_interactions :
+  n:int -> pairs:((int * int) * int) list -> measured:int list -> t
+
+val of_problem : Problem.t -> t

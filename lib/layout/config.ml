@@ -1,0 +1,24 @@
+type strategy = Bb | Smt | Greedy | Portfolio
+
+let strategy_name = function
+  | Bb -> "bb"
+  | Smt -> "smt"
+  | Greedy -> "greedy"
+  | Portfolio -> "portfolio"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "bb" -> Some Bb
+  | "smt" -> Some Smt
+  | "greedy" -> Some Greedy
+  | "portfolio" -> Some Portfolio
+  | _ -> None
+
+let strategy_names = [ "bb"; "smt"; "greedy"; "portfolio" ]
+
+type t = { strategy : strategy; node_budget : int option; cache : bool }
+
+let default = { strategy = Bb; node_budget = None; cache = true }
+
+let make ?(strategy = Bb) ?node_budget ?(cache = true) () =
+  { strategy; node_budget; cache }

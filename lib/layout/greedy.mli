@@ -1,0 +1,5 @@
+(** Greedy degree-ordered placement seeder: deterministic, linear-time,
+    never proven optimal. Used standalone ([--mapper greedy]) and as the
+    incumbent primer for portfolio B&B runs. *)
+
+val solve : Problem.t -> Report.t

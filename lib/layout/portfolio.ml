@@ -1,0 +1,84 @@
+(* Portfolio racing: run the greedy seeder synchronously (it is
+   microseconds), then race B&B and SMT on the parallel pool, both primed
+   with the greedy incumbent.
+
+   First-finisher-wins with deterministic tie-breaking, reconciled as
+   follows. B&B is the *primary* entrant: it is never cancelled, so its
+   report is bit-deterministic regardless of scheduling; when it finishes
+   with a proven optimum it cancels the secondaries (that is the
+   wall-clock win — the race returns as soon as the primary is done and
+   the others notice). Selection among reports is purely by
+   (objective, proven_optimal, fixed entrant order), never by finish
+   time. Why the selected placement is deterministic across -j levels and
+   schedulings:
+
+   - If B&B proves optimality (the common case), its report carries the
+     optimal objective t*; any secondary — cancelled at an arbitrary
+     point or not — scores <= t*, and on a tie loses proven_optimal or
+     entrant order. B&B's deterministic report wins.
+   - If B&B exhausts its node budget, nobody cancels anyone (only the
+     primary's proven finish triggers cancellation), so SMT — exact and
+     budget-free by default — always completes with t* and strictly
+     outranks the truncated B&B on (objective, proven_optimal).
+
+   The greedy report participates as the last-priority entrant and can
+   only win when both engines were budget-truncated below its score. *)
+
+let wins_counter name = Obs.Metrics.counter ("layout.portfolio.wins." ^ name)
+
+let entrants () = [ Strategy.bb; Strategy.smt ]
+
+let solve ?pool ?budget (pr : Problem.t) : Report.t =
+  let report, _dt =
+    Obs.Span.timed
+      ~attrs:[ ("strategy", Obs.Span.Str "portfolio") ]
+      "layout.strategy.portfolio"
+      (fun () ->
+        let greedy_r =
+          Strategy.greedy.Strategy.solve ~race:None ~seed:None ~budget:None pr
+        in
+        let race = Race.create () in
+        Race.publish race greedy_r.Report.objective;
+        let seed = Some greedy_r.Report.placement in
+        let run (i, (s : Strategy.t)) =
+          let primary = i = 0 in
+          let r =
+            s.Strategy.solve
+              ~race:(if primary then None else Some race)
+              ~seed ~budget pr
+          in
+          if primary && r.Report.proven_optimal then Race.cancel race;
+          r
+        in
+        let indexed = List.mapi (fun i s -> (i, s)) (entrants ()) in
+        let results =
+          match pool with
+          | Some p -> Parallel.Pool.map p run indexed
+          | None -> Parallel.Pool.map (Parallel.Pool.default ()) run indexed
+        in
+        let ranked = results @ [ greedy_r ] in
+        let winner =
+          List.fold_left
+            (fun best (r : Report.t) ->
+              if
+                r.Report.objective > best.Report.objective
+                || (r.Report.objective = best.Report.objective
+                   && r.Report.proven_optimal
+                   && not best.Report.proven_optimal)
+              then r
+              else best)
+            (List.hd ranked) (List.tl ranked)
+        in
+        Obs.Metrics.incr (wins_counter winner.Report.strategy);
+        let work =
+          List.fold_left
+            (fun acc (r : Report.t) -> Report.add_work acc r.Report.work)
+            Report.no_work ranked
+        in
+        {
+          winner with
+          Report.strategy = "portfolio:" ^ winner.Report.strategy;
+          work;
+        })
+  in
+  report

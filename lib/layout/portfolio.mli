@@ -1,0 +1,13 @@
+(** Portfolio racing over the registered exact strategies.
+
+    Runs the greedy seeder synchronously, then races B&B (primary, never
+    cancelled) against the incremental SMT engine on [lib/parallel], both
+    primed with the greedy incumbent. The primary's proven finish cancels
+    the secondaries; the returned report is selected by
+    (objective, proven_optimal, fixed entrant order) — never finish time —
+    which makes the selected placement deterministic across [-j] levels
+    (see the argument in portfolio.ml). The report's [work] aggregates
+    all entrants' effort; [strategy] is ["portfolio:<winner>"], and the
+    winner increments the [layout.portfolio.wins.<name>] counter. *)
+
+val solve : ?pool:Parallel.Pool.t -> ?budget:int -> Problem.t -> Report.t

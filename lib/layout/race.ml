@@ -1,0 +1,23 @@
+(* Shared state for portfolio racing: a monotone published lower bound on
+   the achievable objective (sound for pruning in any strategy) and a
+   cooperative cancellation flag. Bounds are stored as float bits so the
+   whole structure is lock-free. *)
+
+type t = { bound_bits : int64 Atomic.t; cancelled : bool Atomic.t }
+
+let create () =
+  {
+    bound_bits = Atomic.make (Int64.bits_of_float neg_infinity);
+    cancelled = Atomic.make false;
+  }
+
+let bound t = Int64.float_of_bits (Atomic.get t.bound_bits)
+
+let rec publish t b =
+  let cur = Atomic.get t.bound_bits in
+  if b > Int64.float_of_bits cur then
+    if not (Atomic.compare_and_set t.bound_bits cur (Int64.bits_of_float b)) then
+      publish t b
+
+let cancel t = Atomic.set t.cancelled true
+let cancelled t = Atomic.get t.cancelled

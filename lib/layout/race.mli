@@ -1,0 +1,24 @@
+(** Shared state for portfolio racing.
+
+    A race carries a monotonically increasing *achieved* objective bound
+    (published by whichever strategy finds a placement scoring it — sound
+    for pruning everywhere, since it never exceeds the optimum) and a
+    cooperative cancellation flag that losing strategies poll.
+
+    Determinism note: {!Portfolio.solve} only hands the cancellation side
+    to *secondary* strategies, and only the primary strategy (which is
+    never cancelled, and therefore deterministic) may trigger it — see the
+    selection argument in [portfolio.ml]. *)
+
+type t
+
+val create : unit -> t
+
+(** Best objective value proven achievable so far ([neg_infinity] if none). *)
+val bound : t -> float
+
+(** Monotone max update (no-op if below the current bound). *)
+val publish : t -> float -> unit
+
+val cancel : t -> unit
+val cancelled : t -> bool

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  about : string;
+  solve :
+    race:Race.t option ->
+    seed:int array option ->
+    budget:int option ->
+    Problem.t ->
+    Report.t;
+}
+
+let spanned name solve ~race ~seed ~budget pr =
+  let report, _dt =
+    Obs.Span.timed
+      ~attrs:[ ("strategy", Obs.Span.Str name) ]
+      ("layout.strategy." ^ name)
+      (fun () -> solve ~race ~seed ~budget pr)
+  in
+  report
+
+let make ~name ~about solve = { name; about; solve = spanned name solve }
+
+let bb =
+  make ~name:"bb"
+    ~about:
+      "branch-and-bound max-min search with memoized bounds and dominance pruning"
+    (fun ~race ~seed ~budget pr -> Bb.solve ?race ?seed ?node_budget:budget pr)
+
+let smt =
+  make ~name:"smt"
+    ~about:"incremental SMT descending-threshold search (push/pop clause reuse)"
+    (fun ~race ~seed ~budget pr ->
+      Smt_search.solve ?race ?seed ?decision_budget:budget pr)
+
+let greedy =
+  make ~name:"greedy" ~about:"degree-ordered greedy seeder (instant, inexact)"
+    (fun ~race:_ ~seed:_ ~budget:_ pr -> Greedy.solve pr)
+
+let builtins = [ bb; smt; greedy ]
+let registry : t list ref = ref []
+
+let register s =
+  if List.exists (fun r -> r.name = s.name) (builtins @ !registry) then
+    invalid_arg ("Layout.Strategy.register: duplicate strategy " ^ s.name);
+  registry := !registry @ [ s ]
+
+let all () = builtins @ !registry
+let find name = List.find_opt (fun s -> s.name = name) (all ())
+let names () = List.map (fun s -> s.name) (all ())

@@ -1,0 +1,44 @@
+(** First-class layout strategies.
+
+    A strategy is a named solver over {!Problem.t} returning a structured
+    {!Report.t}. The three built-ins ([bb], [smt], [greedy]) are always
+    registered; {!register} adds external ones (see docs/EXTENDING.md).
+    Every strategy's solve runs inside a [layout.strategy.<name>]
+    observability span. *)
+
+type t = {
+  name : string;
+  about : string;
+  solve :
+    race:Race.t option ->
+    seed:int array option ->
+    budget:int option ->
+    Problem.t ->
+    Report.t;
+      (** [race] carries portfolio cancellation/bounds (None outside
+          races); [seed] offers a starting incumbent; [budget] caps the
+          engine's native work unit (B&B nodes, SAT decisions). *)
+}
+
+(** Wraps [solve] in the strategy's observability span. *)
+val make :
+  name:string ->
+  about:string ->
+  (race:Race.t option ->
+  seed:int array option ->
+  budget:int option ->
+  Problem.t ->
+  Report.t) ->
+  t
+
+val bb : t
+val smt : t
+val greedy : t
+
+(** [register s] adds a strategy to the catalog. Raises
+    [Invalid_argument] on duplicate names. *)
+val register : t -> unit
+
+val all : unit -> t list
+val find : string -> t option
+val names : unit -> string list

@@ -458,6 +458,78 @@ let check_clifford ~machine ~run_seed c =
     end
   end
 
+(* ---------- layout ---------- *)
+
+let check_layout ~machine ~day c =
+  if not (Device.Machine.fits machine c) then Ok ()
+  else begin
+    let flat = Ir.Decompose.flatten c in
+    let reliability =
+      Triq.Reliability.compute_cached ~noise_aware:true machine ~day
+    in
+    let pr = Triq.Placement.problem reliability flat in
+    let bb = Layout.Bb.solve pr in
+    let smt = Layout.Smt_search.solve pr in
+    let portfolio = Layout.Portfolio.solve pr in
+    let n_hardware = Device.Machine.n_qubits machine in
+    let valid name (r : Layout.Report.t) =
+      let sorted = List.sort_uniq compare (Array.to_list r.Layout.Report.placement) in
+      if List.length sorted <> Array.length r.Layout.Report.placement then
+        Error (Printf.sprintf "%s placement is not injective" name)
+      else if List.exists (fun h -> h < 0 || h >= n_hardware) sorted then
+        Error (Printf.sprintf "%s placement leaves the device" name)
+      else Ok ()
+    in
+    let ( let* ) = Result.bind in
+    let* () = valid "bb" bb in
+    let* () = valid "smt" smt in
+    let* () = valid "portfolio" portfolio in
+    (* The engines realize the same max-min objective; their scores must
+       agree whenever the B&B search completed (generated programs are
+       tiny, so it always does — the guard keeps the property honest). *)
+    let* () =
+      if
+        bb.Layout.Report.proven_optimal
+        && Float.abs (bb.Layout.Report.objective -. smt.Layout.Report.objective)
+           > 1e-9
+      then
+        Error
+          (Printf.sprintf "bb %.9f and smt %.9f disagree on the objective"
+             bb.Layout.Report.objective smt.Layout.Report.objective)
+      else Ok ()
+    in
+    let* () =
+      if
+        bb.Layout.Report.proven_optimal
+        && Float.abs
+             (bb.Layout.Report.objective -. portfolio.Layout.Report.objective)
+           > 1e-9
+      then
+        Error
+          (Printf.sprintf "bb %.9f and portfolio %.9f disagree on the objective"
+             bb.Layout.Report.objective portfolio.Layout.Report.objective)
+      else Ok ()
+    in
+    (* Cache round-trip: a repeat solve through the process-wide cache
+       must score exactly like the first (hit placements are stored in
+       canonical labels and translated back per query). *)
+    let solve () =
+      Triq.Placement.solve ~reliability
+        ~machine_name:machine.Device.Machine.name ~day flat
+    in
+    let r1 = solve () in
+    let r2 = solve () in
+    if r2.Layout.Report.cache <> Layout.Report.Hit then
+      Error "second solve through the cache did not hit"
+    else if r2.Layout.Report.objective <> r1.Layout.Report.objective then
+      Error
+        (Printf.sprintf "cache hit scores %.12f, cold solve scored %.12f"
+           r2.Layout.Report.objective r1.Layout.Report.objective)
+    else if r2.Layout.Report.placement <> r1.Layout.Report.placement then
+      Error "cache hit returned a different placement than the cold solve"
+    else Ok ()
+  end
+
 (* ---------- generated case types ---------- *)
 
 type roundtrip_case = { rt_vendor : vendor; rt_circuit : Circuit.t }
@@ -483,6 +555,12 @@ type clifford_case = {
   cl_machine : Device.Machine.t;
   cl_run_seed : int;
   cl_circuit : Circuit.t;
+}
+
+type layout_case = {
+  ly_machine : Device.Machine.t;
+  ly_day : int;
+  ly_circuit : Circuit.t;
 }
 
 let show_circuit c = Format.asprintf "%a" Circuit.pp c
@@ -654,6 +732,31 @@ let clifford_spec : clifford_case Harness.spec =
         check_clifford ~machine:c.cl_machine ~run_seed:c.cl_run_seed c.cl_circuit);
   }
 
+let layout_spec : layout_case Harness.spec =
+  {
+    Harness.name = "layout";
+    gen =
+      (fun rng ->
+        let machine = Gen.machine rng in
+        let max_qubits = min 5 (Device.Machine.n_qubits machine) in
+        {
+          ly_machine = machine;
+          ly_day = Gen.day rng;
+          ly_circuit = Gen.circuit ~max_qubits ~max_gates:14 rng;
+        });
+    shrink =
+      Shrink.lift
+        ~get:(fun c -> c.ly_circuit)
+        ~set:(fun c circuit -> { c with ly_circuit = circuit })
+        Shrink.circuit;
+    show =
+      (fun c ->
+        Printf.sprintf "machine=%s day=%d\n%s" c.ly_machine.Device.Machine.name
+          c.ly_day (show_circuit c.ly_circuit));
+    prop =
+      (fun c -> check_layout ~machine:c.ly_machine ~day:c.ly_day c.ly_circuit);
+  }
+
 (* ---------- reports ---------- *)
 
 let catalog =
@@ -666,6 +769,9 @@ let catalog =
     ("determinism", "Sim.Runner outcomes identical across -j 1/2/8");
     ( "clifford",
       "stabilizer tableau agrees with the dense backend on Clifford circuits" );
+    ( "layout",
+      "B&B, SMT and the portfolio agree on the max-min objective; cache hits \
+       score identically to cold solves" );
   ]
 
 type failure_report = {
@@ -763,6 +869,15 @@ let run ~seed ~cases name =
                    circuit"
                   (machine_expr c.cl_machine) c.cl_run_seed)
              c.cl_circuit))
+  | "layout" ->
+    Ok
+      (run_spec ~seed ~cases layout_spec ~repro:(fun c ->
+           Repro.alcotest_case ~oracle:"layout"
+             ~check_expr:
+               (Printf.sprintf
+                  "Proptest.Oracle.check_layout ~machine:%s ~day:%d circuit"
+                  (machine_expr c.ly_machine) c.ly_day)
+             c.ly_circuit))
   | other ->
     Error
       (Printf.sprintf "unknown oracle %S (known: %s)" other

@@ -91,11 +91,21 @@ val check_clifford :
   Ir.Circuit.t ->
   (unit, string) result
 
+(** [check_layout ~machine ~day c] lowers [c]'s interaction graph against
+    the day's noise-aware reliability model and requires (a) the B&B, SMT
+    and portfolio layout strategies to return valid injective placements
+    agreeing on the max-min objective (within 1e-9, whenever B&B proved
+    optimality), and (b) a repeat solve through the process-wide layout
+    cache to hit and score exactly like the cold solve. Vacuous if [c]
+    does not fit [machine]. *)
+val check_layout :
+  machine:Device.Machine.t -> day:int -> Ir.Circuit.t -> (unit, string) result
+
 (** {1 Running oracles} *)
 
 (** Canonical (name, description) rows, in catalog order:
     ["roundtrip"; "semantic"; "dataflow"; "schedule"; "determinism";
-    "clifford"]. *)
+    "clifford"; "layout"]. *)
 val catalog : (string * string) list
 
 type failure_report = {

@@ -5,13 +5,14 @@ type t = {
   mutable clauses : literal array list;  (** frozen clause store *)
   mutable n_clauses : int;
   mutable decisions : int;
+  mutable scopes : int list;  (** clause-count marks of open assertion scopes *)
 }
 
 type outcome = Sat of bool array | Unsat
 
 let create n_vars =
   if n_vars <= 0 then invalid_arg "Solver.create: need at least one variable";
-  { n_vars; clauses = []; n_clauses = 0; decisions = 0 }
+  { n_vars; clauses = []; n_clauses = 0; decisions = 0; scopes = [] }
 
 let n_vars t = t.n_vars
 let n_clauses t = t.n_clauses
@@ -30,6 +31,24 @@ let add_clause t lits =
     t.clauses <- Array.of_list sorted :: t.clauses;
     t.n_clauses <- t.n_clauses + 1
   end
+
+(* Assertion scopes: clauses prepend to the store, so a scope is just the
+   clause count at [push] time and [pop] drops everything added since. *)
+let push t = t.scopes <- t.n_clauses :: t.scopes
+
+let pop t =
+  match t.scopes with
+  | [] -> invalid_arg "Solver.pop: no open scope"
+  | mark :: rest ->
+    let rec drop n l =
+      if n = 0 then l
+      else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+    in
+    t.clauses <- drop (t.n_clauses - mark) t.clauses;
+    t.n_clauses <- mark;
+    t.scopes <- rest
+
+let n_scopes t = List.length t.scopes
 
 let at_most_one t lits =
   let rec pairs = function

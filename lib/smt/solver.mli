@@ -36,6 +36,21 @@ type outcome =
     call, and clauses persist. *)
 val solve : ?assumptions:literal list -> t -> outcome
 
+(** [push t] opens an assertion scope: clauses added after the push are
+    retracted again by the matching {!pop}. Scopes nest. This is the
+    incremental-solving interface the layout engine's descending-threshold
+    search uses to reuse the structural (assignment-shaped) clauses across
+    thresholds instead of re-encoding the formula per threshold. *)
+val push : t -> unit
+
+(** [pop t] closes the innermost assertion scope, dropping every clause
+    added since the matching {!push}. Raises [Invalid_argument] when no
+    scope is open. *)
+val pop : t -> unit
+
+(** [n_scopes t] is the number of currently open assertion scopes. *)
+val n_scopes : t -> int
+
 (** [n_vars t] and [n_clauses t] describe the loaded formula. *)
 val n_vars : t -> int
 

@@ -314,7 +314,13 @@ let matrix_configs =
   let open Triq.Pass.Config in
   List.map
     (fun (peephole, router) ->
-      { default with peephole; router; validate = Triq.Pass.Config.Shape; node_budget = Some 20_000 })
+      {
+        default with
+        peephole;
+        router;
+        validate = Triq.Pass.Config.Shape;
+        layout = Layout.Config.make ~node_budget:20_000 ();
+      })
     [ (false, Default); (true, Default); (false, Lookahead); (true, Lookahead) ]
 
 let test_validated_matrix () =

@@ -2,6 +2,10 @@
    cancellation, the product mapping objective, the distance-dependent
    large ion trap, and the extension experiments. *)
 
+(* The legacy Mapper/Mapper_smt wrappers are exercised on purpose: these
+   tests pin the wrappers' golden equivalence with the layout engine. *)
+[@@@alert "-deprecated"]
+
 module G = Ir.Gate
 module Circuit = Ir.Circuit
 module Mat = Ir.Matrices

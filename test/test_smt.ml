@@ -2,6 +2,10 @@
    and the SMT-style mapper's agreement with the branch-and-bound
    mapper. *)
 
+(* The legacy Mapper/Mapper_smt wrappers are exercised on purpose: these
+   tests pin the wrappers' golden equivalence with the layout engine. *)
+[@@@alert "-deprecated"]
+
 module Solver = Smt.Solver
 module Rng = Mathkit.Rng
 
@@ -132,6 +136,42 @@ let test_solver_random_cross_check () =
     end
   done
 
+let test_solver_push_pop () =
+  let s = Solver.create 2 in
+  Solver.add_clause s [ 1; 2 ];
+  Solver.push s;
+  Solver.add_clause s [ -1 ];
+  Solver.add_clause s [ -2 ];
+  Alcotest.(check int) "one scope" 1 (Solver.n_scopes s);
+  Alcotest.(check bool) "scoped unsat" false (is_sat (Solver.solve s));
+  Solver.pop s;
+  Alcotest.(check int) "clauses restored" 1 (Solver.n_clauses s);
+  Alcotest.(check bool) "sat again" true (is_sat (Solver.solve s))
+
+let test_solver_nested_scopes () =
+  let s = Solver.create 3 in
+  Solver.add_clause s [ 1 ];
+  Solver.push s;
+  Solver.add_clause s [ 2 ];
+  Solver.push s;
+  Solver.add_clause s [ 3 ];
+  Alcotest.(check int) "two scopes" 2 (Solver.n_scopes s);
+  Alcotest.(check int) "three clauses" 3 (Solver.n_clauses s);
+  Solver.pop s;
+  (* The inner scope's clause is gone; the outer scope's survives. *)
+  Alcotest.(check int) "inner dropped" 2 (Solver.n_clauses s);
+  Solver.add_clause s [ -3 ];
+  (match Solver.solve s with
+  | Solver.Sat model ->
+    Alcotest.(check bool) "outer clause still forces x2" true model.(2);
+    Alcotest.(check bool) "inner clause forgotten" false model.(3)
+  | Solver.Unsat -> Alcotest.fail "expected sat");
+  Solver.pop s;
+  Alcotest.(check int) "no scopes" 0 (Solver.n_scopes s);
+  Alcotest.(check int) "base clause only" 1 (Solver.n_clauses s);
+  Alcotest.check_raises "pop without scope"
+    (Invalid_argument "Solver.pop: no open scope") (fun () -> Solver.pop s)
+
 (* ---------- SMT mapper vs branch-and-bound mapper ---------- *)
 
 let reliability_for machine =
@@ -195,6 +235,8 @@ let () =
           Alcotest.test_case "pigeonhole" `Quick test_solver_pigeonhole;
           Alcotest.test_case "exactly one" `Quick test_solver_exactly_one;
           Alcotest.test_case "random cross-check" `Quick test_solver_random_cross_check;
+          Alcotest.test_case "push/pop" `Quick test_solver_push_pop;
+          Alcotest.test_case "nested scopes" `Quick test_solver_nested_scopes;
         ] );
       ( "mapper_smt",
         [

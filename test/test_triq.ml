@@ -2,6 +2,10 @@
    Figure 6 worked example), mapper, router, direction fixing, vendor gate
    translation and 1Q optimization. *)
 
+(* The legacy Mapper/Mapper_smt wrappers are exercised on purpose: these
+   tests pin the wrappers' golden equivalence with the layout engine. *)
+[@@@alert "-deprecated"]
+
 module G = Ir.Gate
 module Circuit = Ir.Circuit
 module Dec = Ir.Decompose
